@@ -1,0 +1,52 @@
+// Fig. 3: random sampling (a) produces unbalanced per-model sample counts
+// |S_i| when training sets are skewed; adaptive (Thompson) sampling (b)
+// balances them. The paper plots normalized |S_i| for n = 16 models.
+#include "bench/common.hpp"
+#include "sampling/thompson.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace anole;
+  bench::print_banner("Figure 3", "random vs adaptive scene sampling balance");
+
+  // Skewed training-set sizes as produced by multi-granularity clustering:
+  // a few broad clusters dominate, many specialists are small.
+  const std::size_t n = 16;
+  std::vector<std::size_t> sizes;
+  Rng size_rng(17);
+  for (std::size_t i = 0; i < n; ++i) {
+    sizes.push_back(i < 3 ? 2000 + 500 * i
+                          : 80 + size_rng.uniform_index(220));
+  }
+
+  const std::size_t budget = 1600;
+  sampling::AdaptiveSceneSampler adaptive(sizes, 0.9);
+  sampling::RandomSceneSampler random(sizes);
+  Rng rng(7);
+  for (std::size_t i = 0; i < budget; ++i) {
+    random.record_draw(random.next_arm(rng));
+    const auto arm = adaptive.next_arm(rng);
+    if (!arm) break;
+    adaptive.record_draw(*arm);
+  }
+
+  const auto random_norm = normalize(random.draw_counts());
+  const auto adaptive_norm = normalize(adaptive.draw_counts());
+
+  TablePrinter table({"model", "|Gamma_i|", "random |S_i| (norm)",
+                      "adaptive |S_i| (norm)"});
+  for (std::size_t i = 0; i < n; ++i) {
+    table.add_row({"M" + std::to_string(i + 1), std::to_string(sizes[i]),
+                   format_double(random_norm[i], 4),
+                   format_double(adaptive_norm[i], 4)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nbalance (coefficient of variation; lower = more balanced)\n");
+  std::printf("  random:   %.3f\n",
+              coefficient_of_variation(random.draw_counts()));
+  std::printf("  adaptive: %.3f\n",
+              coefficient_of_variation(adaptive.draw_counts()));
+  std::printf("paper shape: adaptive sampling mitigates the unbalanced "
+              "sampling problem.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 5: CDFs of image brightness, contrast, number of objects, and
+// object-area ratio over the 64-clip dataset, demonstrating the diversity
+// of the generated corpus (the repo's stand-in for KITTI+BDD100k+SHD).
+#include "bench/common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+void print_cdf(const char* name, const std::vector<double>& values) {
+  using namespace anole;
+  std::printf("\n(%s) CDF, %zu frames\n", name, values.size());
+  TablePrinter table({"value", "P(X<=value)"});
+  for (const auto& point : empirical_cdf(values, 11)) {
+    table.add_row({format_double(point.value, 3),
+                   format_double(point.cumulative_probability, 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("  mean=%.3f  p10=%.3f  p90=%.3f\n", mean(values),
+              percentile(values, 10), percentile(values, 90));
+}
+
+}  // namespace
+
+int main() {
+  using namespace anole;
+  bench::print_banner("Figure 5",
+                      "dataset diversity: brightness / contrast / objects");
+
+  // The full 64-clip mix (10 KITTI-like, 44 BDD-like, 10 SHD-like).
+  world::WorldConfig config;
+  config.frames_per_clip = 60;
+  config.clip_scale = 1.0;
+  config.seed = 1234;
+  const world::World w = world::make_benchmark_world(config);
+  std::printf("world: %zu clips, %zu frames\n", w.clips.size(),
+              w.total_frames());
+
+  std::vector<double> brightness;
+  std::vector<double> contrast;
+  std::vector<double> object_counts;
+  std::vector<double> area_ratios;
+  for (const auto& clip : w.clips) {
+    for (const auto& frame : clip.frames) {
+      brightness.push_back(frame.brightness);
+      contrast.push_back(frame.contrast);
+      object_counts.push_back(static_cast<double>(frame.objects.size()));
+      area_ratios.push_back(frame.object_area_ratio());
+    }
+  }
+
+  print_cdf("a: image brightness", brightness);
+  print_cdf("b: image contrast", contrast);
+  print_cdf("c: number of objects", object_counts);
+  print_cdf("d: ratio of object area", area_ratios);
+
+  std::printf("\npaper shape: wide spreads on all four axes (diverse "
+              "driving scenarios).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 8: cross-scene experiment — CDFs of windowed F1 (every 10 frames)
+// for all candidate methods on the seen-clip test split of each source
+// dataset. Paper shape: Anole dominates; DMM does well on the simple
+// datasets (KITTI/SHD roles) but poorly on the big diverse one; SDM is
+// biased toward the dominant dataset.
+#include "bench/common.hpp"
+#include "util/stats.hpp"
+
+int main() {
+  using namespace anole;
+  bench::print_banner("Figure 8", "cross-scene F1 CDFs per source dataset");
+
+  auto stack = bench::train_standard_stack();
+  auto methods = bench::train_all_methods(stack);
+
+  for (std::size_t d = 0; d < stack.world.dataset_names.size(); ++d) {
+    const auto frames =
+        stack.world.frames_with_role(world::SplitRole::kTest, d);
+    std::printf("\n--- %s-like test split (%zu frames, F1 per 10 frames) ---\n",
+                stack.world.dataset_names[d].c_str(), frames.size());
+    TablePrinter table({"method", "p10", "p25", "median", "p75", "p90",
+                        "mean", "overall F1"});
+    for (auto* method : methods.all()) {
+      const auto series =
+          eval::windowed_f1(bench::infer_fn(*method), frames, 10);
+      table.add_row({method->name(), format_double(percentile(series, 10), 3),
+                     format_double(percentile(series, 25), 3),
+                     format_double(median(series), 3),
+                     format_double(percentile(series, 75), 3),
+                     format_double(percentile(series, 90), 3),
+                     format_double(mean(series), 3),
+                     format_double(eval::overall_f1(bench::infer_fn(*method),
+                                                    frames),
+                                   3)});
+    }
+    std::printf("%s", table.to_string().c_str());
+  }
+
+  // Aggregate over all seen test frames (the headline comparison).
+  const auto all_test = stack.world.frames_with_role(world::SplitRole::kTest);
+  std::printf("\n--- all seen test frames (%zu) ---\n", all_test.size());
+  TablePrinter total({"method", "overall F1"});
+  double anole_f1 = 0.0;
+  double sdm_f1 = 0.0;
+  for (auto* method : methods.all()) {
+    const double f1 = eval::overall_f1(bench::infer_fn(*method), all_test);
+    if (method->name() == "Anole") anole_f1 = f1;
+    if (method->name() == "SDM") sdm_f1 = f1;
+    total.add_row({method->name(), format_double(f1, 3)});
+  }
+  std::printf("%s", total.to_string().c_str());
+  std::printf("Anole vs SDM: %+.1f points (paper: Anole 56.4%% vs SDM 50.7%% "
+              "vs SSM 45.9%% — Anole outwits the versatile large model)\n",
+              100.0 * (anole_f1 - sdm_f1));
+  std::printf("Anole cache miss rate: %.3f\n",
+              methods.anole->engine().cache().miss_rate());
+  return 0;
+}

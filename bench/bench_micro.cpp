@@ -1,0 +1,130 @@
+// Micro-benchmarks (google-benchmark) of the hot paths: tensor matmul,
+// detector forward, frame featurization + decision ranking, k-means,
+// Thompson sampling rounds, and cache admission. These measure this
+// host's actual per-operation cost, complementing the calibrated device
+// simulator used by the table/figure benches.
+#include <benchmark/benchmark.h>
+
+#include "cluster/kmeans.hpp"
+#include "core/model_cache.hpp"
+#include "detect/grid_detector.hpp"
+#include "sampling/thompson.hpp"
+#include "world/featurizer.hpp"
+#include "world/world.hpp"
+
+namespace {
+
+using namespace anole;
+
+void BM_TensorMatmul(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::matrix(n, n);
+  Tensor b = Tensor::matrix(n, n);
+  for (auto& v : a.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : b.data()) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(matmul(a, b));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TensorMatmul)->Arg(16)->Arg(64)->Arg(128)->Complexity();
+
+world::Frame make_frame(std::uint64_t seed) {
+  Rng rng(seed);
+  world::FrameGenerator generator;
+  const world::SceneAttributes attrs{world::Weather::kClear,
+                                     world::Location::kUrban,
+                                     world::TimeOfDay::kDaytime};
+  const auto style = world::SceneStyle::from_attributes(attrs);
+  std::vector<world::ObjectInstance> objects;
+  for (int i = 0; i < 5; ++i) objects.push_back(generator.sample_object(style, rng));
+  return generator.render(style, attrs, objects, rng);
+}
+
+void BM_DetectorCompressed(benchmark::State& state) {
+  Rng rng(2);
+  detect::GridDetector detector(detect::GridDetectorConfig::compressed(),
+                                rng);
+  const auto frame = make_frame(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(frame));
+  }
+}
+BENCHMARK(BM_DetectorCompressed);
+
+void BM_DetectorLarge(benchmark::State& state) {
+  Rng rng(2);
+  detect::GridDetector detector(detect::GridDetectorConfig::large(), rng);
+  const auto frame = make_frame(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.detect(frame));
+  }
+}
+BENCHMARK(BM_DetectorLarge);
+
+void BM_FrameFeaturize(benchmark::State& state) {
+  const world::FrameFeaturizer featurizer;
+  const auto frame = make_frame(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(featurizer.featurize(frame));
+  }
+}
+BENCHMARK(BM_FrameFeaturize);
+
+void BM_FrameRender(benchmark::State& state) {
+  Rng rng(5);
+  world::FrameGenerator generator;
+  const world::SceneAttributes attrs{world::Weather::kRainy,
+                                     world::Location::kHighway,
+                                     world::TimeOfDay::kNight};
+  const auto style = world::SceneStyle::from_attributes(attrs);
+  std::vector<world::ObjectInstance> objects;
+  for (int i = 0; i < 5; ++i) objects.push_back(generator.sample_object(style, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generator.render(style, attrs, objects, rng));
+  }
+}
+BENCHMARK(BM_FrameRender);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(6);
+  const std::size_t n = 200;
+  Tensor points = Tensor::matrix(n, 48);
+  for (auto& v : points.data()) v = static_cast<float>(rng.normal());
+  cluster::KMeansConfig config;
+  config.clusters = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng inner(7);
+    benchmark::DoNotOptimize(cluster::kmeans(points, config, inner));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(2)->Arg(8)->Arg(16);
+
+void BM_ThompsonRound(benchmark::State& state) {
+  std::vector<std::size_t> sizes(19, 500);
+  sampling::AdaptiveSceneSampler sampler(sizes, 0.9);
+  Rng rng(8);
+  for (auto _ : state) {
+    const auto arm = sampler.next_arm(rng);
+    if (arm) sampler.record_draw(*arm);
+  }
+}
+BENCHMARK(BM_ThompsonRound);
+
+void BM_CacheAdmit(benchmark::State& state) {
+  core::CacheConfig config;
+  config.capacity = 5;
+  core::ModelCache cache(19, config);
+  Rng rng(9);
+  std::vector<std::size_t> ranking = random_permutation(19, rng);
+  for (auto _ : state) {
+    rng.shuffle(ranking);
+    benchmark::DoNotOptimize(cache.admit(ranking));
+  }
+}
+BENCHMARK(BM_CacheAdmit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+// Table II: details of deployed models — role, FLOPs, serialized weights.
+// The paper reports YOLOv3-tiny 5.56 BFLOPs / 34 MB, ResNet18 4.69 BFLOPs /
+// 44 MB, MLP 3.6 MFLOPs / 935 KB, YOLOv3 65.86 BFLOPs / 237 MB; the shape
+// to reproduce is the ~12x FLOPs gap between the deep and compressed
+// detectors and the negligible decision-model cost.
+#include "bench/common.hpp"
+#include "device/profile.hpp"
+#include "nn/serialize.hpp"
+
+int main() {
+  using namespace anole;
+  bench::print_banner("Table II", "details of deployed models");
+
+  Rng rng(3);
+  detect::GridDetector tiny(detect::GridDetectorConfig::compressed(), rng);
+  detect::GridDetector deep(detect::GridDetectorConfig::large(), rng);
+  core::SceneEncoderConfig encoder_config;
+  core::SceneEncoder encoder(/*class_count=*/24, encoder_config, rng);
+  core::DecisionModelConfig decision_config;
+  core::DecisionModel decision(encoder, /*model_count=*/19, decision_config,
+                               rng);
+
+  const device::MemoryModel memory(tiny.weight_bytes());
+  auto paper_mb = [&](std::uint64_t bytes) {
+    return format_double(memory.load_mb(bytes), 1) + " MB(eq)";
+  };
+
+  TablePrinter table({"Model", "Role", "FLOPs/frame", "Weights",
+                      "Paper-equivalent"});
+  table.add_row({"GridDetector-compressed", "Compressed model",
+                 std::to_string(tiny.flops_per_frame()),
+                 std::to_string(tiny.weight_bytes()) + " B",
+                 paper_mb(tiny.weight_bytes())});
+  table.add_row({"SceneEncoder (trunk+head)", "M_scene",
+                 std::to_string(encoder.flops_per_sample()),
+                 std::to_string(nn::serialized_size_bytes(encoder)) + " B",
+                 paper_mb(nn::serialized_size_bytes(encoder))});
+  table.add_row({"DecisionModel head", "M_decision",
+                 std::to_string(decision.flops_per_sample()),
+                 std::to_string(decision.head_weight_bytes()) + " B",
+                 paper_mb(decision.head_weight_bytes())});
+  table.add_row({"GridDetector-large", "Deep model",
+                 std::to_string(deep.flops_per_frame()),
+                 std::to_string(deep.weight_bytes()) + " B",
+                 paper_mb(deep.weight_bytes())});
+  std::printf("%s", table.to_string().c_str());
+
+  const double ratio = static_cast<double>(deep.flops_per_frame()) /
+                       static_cast<double>(tiny.flops_per_frame());
+  std::printf("\ndeep/compressed FLOPs ratio: %.1fx (paper: 65.86/5.56 = 11.8x)\n",
+              ratio);
+  std::printf("decision/compressed FLOPs ratio: %.3f (paper: M_decision is "
+              "negligible next to detection)\n",
+              static_cast<double>(decision.flops_per_sample()) /
+                  static_cast<double>(tiny.flops_per_frame()));
+  return 0;
+}

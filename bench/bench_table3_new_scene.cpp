@@ -1,0 +1,57 @@
+// Table III: new-scene experiment — F1 of every candidate method on the
+// six unseen clips (scenes excluded from all training), plus the mean.
+// Paper shape: Anole generalizes best (0.487 mean), SDM second (0.466),
+// DMM worst; the ordering matters, not the absolute numbers.
+#include "bench/common.hpp"
+
+int main() {
+  using namespace anole;
+  bench::print_banner("Table III", "inference accuracy on unseen scenes");
+
+  auto stack = bench::train_standard_stack();
+  auto methods = bench::train_all_methods(stack);
+
+  // Ablation: the case-3 confidence fallback (serve the broadest model
+  // when no compressed model looks suitable) — most relevant exactly here,
+  // on scenes outside every model's distribution.
+  core::EngineConfig fallback_config;
+  fallback_config.cache = bench::standard_cache_config();
+  fallback_config.confidence_floor = 0.25;
+  baselines::AnoleMethod anole_fallback(stack.system, fallback_config,
+                                        "Anole+CF");
+
+  const auto unseen = stack.world.unseen_clips();
+  std::vector<std::string> header = {"Method"};
+  for (const auto* clip : unseen) {
+    header.push_back(stack.world.dataset_names[clip->dataset_id] + " " +
+                     clip->attributes.short_label());
+  }
+  header.push_back("Mean");
+  TablePrinter table(std::move(header));
+
+  double anole_mean = 0.0;
+  double sdm_mean = 0.0;
+  auto all_methods = methods.all();
+  all_methods.push_back(&anole_fallback);
+  for (auto* method : all_methods) {
+    std::vector<std::string> row = {method->name()};
+    double sum = 0.0;
+    for (const auto* clip : unseen) {
+      std::vector<const world::Frame*> frames;
+      for (const auto& frame : clip->frames) frames.push_back(&frame);
+      const double f1 = eval::overall_f1(bench::infer_fn(*method), frames);
+      row.push_back(format_double(f1, 3));
+      sum += f1;
+    }
+    const double mean_f1 = sum / static_cast<double>(unseen.size());
+    row.push_back(format_double(mean_f1, 3));
+    table.add_row(std::move(row));
+    if (method->name() == "Anole") anole_mean = mean_f1;
+    if (method->name() == "SDM") sdm_mean = mean_f1;
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nAnole mean %+.1f points vs SDM (paper: 0.487 vs 0.466; "
+              "Anole generalizes best, SSM/DMM trail)\n",
+              100.0 * (anole_mean - sdm_mean));
+  return 0;
+}

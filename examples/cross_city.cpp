@@ -1,0 +1,100 @@
+// Cross-city deployment: train on two cities' data, deploy in a third.
+//
+// The paper's motivation is exactly this gap: a stack profiled on
+// KITTI-like and BDD-like corpora is shipped to a vehicle driving in a
+// city it has never seen (here: the SHD-like profile — highway / urban /
+// tunnel, day and night). The example builds a custom two-dataset world
+// with make_world(), profiles Anole on it, trains the SDM/SSM baselines on
+// the same data, and evaluates everything on freshly generated clips from
+// the third profile.
+//
+// Run: ./build/examples/cross_city
+#include <cstdio>
+
+#include "baselines/methods.hpp"
+#include "core/profiler.hpp"
+#include "eval/f1_series.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace anole;
+  set_log_level(LogLevel::kWarn);
+  Rng rng(17);
+
+  // --- training world: two source cities only ---
+  world::WorldConfig config;
+  config.frames_per_clip = 80;
+  config.clip_scale = 0.35;
+  config.seed = 31;
+  auto kitti = world::kitti_like_profile();
+  auto bdd = world::bdd_like_profile();
+  kitti.unseen_clip_attributes.clear();  // all clips usable for training
+  bdd.unseen_clip_attributes.clear();
+  std::printf("building a two-city training corpus (KITTI-like + BDD-like)...\n");
+  const world::World training_world = world::make_world(config, {kitti, bdd});
+  std::printf("corpus: %zu clips, %zu frames\n", training_world.clips.size(),
+              training_world.total_frames());
+
+  // --- offline profiling + baselines on the two-city corpus ---
+  core::ProfilerConfig profiler_config;
+  profiler_config.repository.target_models = 14;
+  profiler_config.sampling.budget = 800;
+  core::OfflineProfiler profiler(profiler_config);
+  core::AnoleSystem system = profiler.run(training_world, rng);
+  std::printf("Anole profiled: %zu compressed models\n", system.model_count());
+
+  baselines::BaselineConfig baseline_config;
+  std::printf("training SDM / SSM baselines...\n");
+  auto sdm = baselines::train_sdm(training_world, baseline_config, rng);
+  auto ssm = baselines::train_ssm(training_world, baseline_config, rng);
+  core::CacheConfig cache_config;
+  cache_config.capacity = 5;
+  baselines::AnoleMethod anole(system, cache_config);
+
+  // --- deployment city: fresh clips from the third profile ---
+  const auto shd = world::shd_like_profile();
+  world::ClipGenerator generator(config.grid_size);
+  Rng city_rng(99);
+  std::vector<world::Clip> deployment;
+  for (int i = 0; i < 6; ++i) {
+    world::ClipSpec spec;
+    spec.attributes = shd.pool.sample(city_rng);
+    spec.length = 60;
+    spec.style_variation = shd.style_variation;
+    spec.style_seed = 5000 + i;
+    spec.clip_id = 900 + i;
+    spec.dataset_id = 0;  // routing never uses this; DMM would need it
+    deployment.push_back(generator.generate(spec, city_rng));
+  }
+
+  std::printf("\ndeploying in the unseen city (6 fresh clips):\n");
+  TablePrinter table({"clip", "scene", "Anole", "SDM", "SSM"});
+  double anole_sum = 0.0;
+  double sdm_sum = 0.0;
+  double ssm_sum = 0.0;
+  for (std::size_t i = 0; i < deployment.size(); ++i) {
+    std::vector<const world::Frame*> frames;
+    for (const auto& frame : deployment[i].frames) frames.push_back(&frame);
+    auto f1_of = [&](baselines::InferenceMethod& method) {
+      return eval::overall_f1(
+          [&](const world::Frame& f) { return method.infer(f); }, frames);
+    };
+    const double fa = f1_of(anole);
+    const double fd = f1_of(*sdm);
+    const double fs = f1_of(*ssm);
+    anole_sum += fa;
+    sdm_sum += fd;
+    ssm_sum += fs;
+    table.add_row({std::to_string(i + 1),
+                   deployment[i].attributes.label(), format_double(fa, 3),
+                   format_double(fd, 3), format_double(fs, 3)});
+  }
+  const double n = static_cast<double>(deployment.size());
+  table.add_row({"", "MEAN", format_double(anole_sum / n, 3),
+                 format_double(sdm_sum / n, 3), format_double(ssm_sum / n, 3)});
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\nexpected shape (paper Table III): Anole holds up best on "
+              "unseen scenes; the compressed single model degrades most.\n");
+  return 0;
+}

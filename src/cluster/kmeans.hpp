@@ -1,0 +1,45 @@
+// k-means with k-means++ seeding, plus the multi-granularity sweep used by
+// Algorithm 1 (clustering scene embeddings at k = 2, 3, ... levels).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace anole::cluster {
+
+struct KMeansConfig {
+  std::size_t clusters = 2;
+  std::size_t max_iterations = 50;
+  /// Stop when no assignment changes.
+  bool early_stop = true;
+};
+
+struct KMeansResult {
+  /// [clusters, features] centroids.
+  Tensor centroids;
+  /// Cluster index of each input row.
+  std::vector<std::size_t> assignments;
+  /// Sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+  std::size_t iterations = 0;
+
+  /// Number of points in each cluster.
+  std::vector<std::size_t> cluster_sizes() const;
+};
+
+/// Lloyd's algorithm over the rows of `points` ([n, d]); k-means++ init.
+/// Requires points.rows() >= config.clusters.
+KMeansResult kmeans(const Tensor& points, const KMeansConfig& config,
+                    Rng& rng);
+
+/// Index of the centroid nearest to `point` (a [d] or [1, d] tensor row).
+std::size_t nearest_centroid(const Tensor& centroids,
+                             std::span<const float> point);
+
+/// Squared Euclidean distance between two equal-length spans.
+double squared_distance(std::span<const float> a, std::span<const float> b);
+
+}  // namespace anole::cluster

@@ -1,0 +1,183 @@
+#include "core/artifact.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace anole::core {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'A', 'N', 'O', 'L',
+                                        'E', 'S', 'Y', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_system: truncated stream");
+  return value;
+}
+
+void write_string(std::ostream& out, const std::string& value) {
+  write_pod(out, static_cast<std::uint32_t>(value.size()));
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+std::string read_string(std::istream& in) {
+  const auto size = read_pod<std::uint32_t>(in);
+  std::string value(size, '\0');
+  in.read(value.data(), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("load_system: truncated string");
+  return value;
+}
+
+void write_size_vector(std::ostream& out,
+                       const std::vector<std::size_t>& values) {
+  write_pod(out, static_cast<std::uint32_t>(values.size()));
+  for (std::size_t v : values) {
+    write_pod(out, static_cast<std::uint64_t>(v));
+  }
+}
+
+std::vector<std::size_t> read_size_vector(std::istream& in) {
+  const auto count = read_pod<std::uint32_t>(in);
+  std::vector<std::size_t> values(count);
+  for (auto& v : values) {
+    v = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  }
+  return values;
+}
+
+}  // namespace
+
+void save_system(AnoleSystem& system, std::ostream& out) {
+  if (!system.encoder || !system.decision) {
+    throw std::runtime_error("save_system: incomplete system");
+  }
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, kVersion);
+
+  // --- scene index ---
+  write_size_vector(out, system.scene_index.semantic_ids());
+
+  // --- encoder: architecture, then weights ---
+  write_pod(out, static_cast<std::uint64_t>(system.encoder->class_count()));
+  write_pod(out,
+            static_cast<std::uint64_t>(system.encoder->config().hidden_width));
+  write_pod(out, static_cast<std::uint64_t>(system.encoder->embedding_dim()));
+  nn::save_parameters(*system.encoder, out);
+
+  // --- repository ---
+  write_pod(out, static_cast<std::uint32_t>(system.repository.size()));
+  for (std::size_t m = 0; m < system.repository.size(); ++m) {
+    SceneModel& model = system.repository.model(m);
+    write_string(out, model.name);
+    write_size_vector(out, model.scene_classes);
+    write_pod(out, model.validation_f1);
+    write_pod(out, static_cast<std::uint64_t>(model.cluster_k));
+    const auto& config = model.detector->config();
+    write_pod(out, static_cast<std::uint64_t>(model.detector->grid_size()));
+    write_size_vector(out, config.hidden);
+    write_pod(out, config.confidence_threshold);
+    write_pod(out, config.nms_threshold);
+    write_pod(out, config.nms_center_distance);
+    nn::save_parameters(model.detector->network(), out);
+  }
+
+  // --- decision head ---
+  write_pod(out,
+            static_cast<std::uint64_t>(system.decision->config().hidden_width));
+  write_pod(out, static_cast<std::uint32_t>(system.decision->model_count()));
+  nn::save_parameters(system.decision->head(), out);
+
+  if (!out) throw std::runtime_error("save_system: write failed");
+}
+
+AnoleSystem load_system(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_system: bad magic");
+  }
+  if (read_pod<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("load_system: unsupported version");
+  }
+
+  AnoleSystem system;
+  // Weights are overwritten after construction, so the init RNG seed is
+  // irrelevant; a fixed seed keeps loading deterministic anyway.
+  Rng rng(0xA401EULL);
+
+  system.scene_index =
+      SemanticSceneIndex::from_semantic_ids(read_size_vector(in));
+
+  const auto class_count =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  SceneEncoderConfig encoder_config;
+  encoder_config.hidden_width =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  encoder_config.embedding_dim =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  system.encoder =
+      std::make_unique<SceneEncoder>(class_count, encoder_config, rng);
+  nn::load_parameters(*system.encoder, in);
+
+  const auto model_count = read_pod<std::uint32_t>(in);
+  for (std::uint32_t m = 0; m < model_count; ++m) {
+    SceneModel model;
+    model.name = read_string(in);
+    model.scene_classes = read_size_vector(in);
+    model.validation_f1 = read_pod<double>(in);
+    model.cluster_k = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    const auto grid_size =
+        static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    detect::GridDetectorConfig config;
+    config.hidden = read_size_vector(in);
+    config.confidence_threshold = read_pod<double>(in);
+    config.nms_threshold = read_pod<double>(in);
+    config.nms_center_distance = read_pod<double>(in);
+    config.name = model.name;
+    model.detector =
+        std::make_unique<detect::GridDetector>(config, rng, grid_size);
+    nn::load_parameters(model.detector->network(), in);
+    system.repository.add(std::move(model));
+  }
+
+  DecisionModelConfig decision_config;
+  decision_config.hidden_width =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  const auto decision_models = read_pod<std::uint32_t>(in);
+  system.decision = std::make_unique<DecisionModel>(
+      *system.encoder, decision_models, decision_config, rng);
+  nn::load_parameters(system.decision->head(), in);
+  return system;
+}
+
+void save_system_to_file(AnoleSystem& system, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save_system(system, out);
+}
+
+AnoleSystem load_system_from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return load_system(in);
+}
+
+std::uint64_t system_artifact_bytes(AnoleSystem& system) {
+  std::ostringstream out;
+  save_system(system, out);
+  return out.str().size();
+}
+
+}  // namespace anole::core

@@ -1,0 +1,36 @@
+// Deployment artifacts: serialize a trained AnoleSystem to a single binary
+// blob and load it back.
+//
+// This is the paper's "download pre-trained {M_1..M_n} and M_decision to
+// the device" step: the cloud-side OfflineProfiler produces an
+// AnoleSystem, save_system() ships it, and the device reconstructs an
+// identical system with load_system() — no training data travels, so the
+// loaded repository carries no ASS frame pools (they are cloud-only).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/engine.hpp"
+
+namespace anole::core {
+
+/// Writes the full system (scene index, M_scene, every compressed model
+/// with its metadata, M_decision head) to `out`.
+/// Throws std::runtime_error on I/O failure.
+void save_system(AnoleSystem& system, std::ostream& out);
+
+/// Reconstructs a system from a stream written by save_system. The loaded
+/// models produce bit-identical inference results; `training_frames` /
+/// `validation_frames` pools are empty (deployment artifacts carry no
+/// data). Throws std::runtime_error on malformed input.
+AnoleSystem load_system(std::istream& in);
+
+/// File-based wrappers.
+void save_system_to_file(AnoleSystem& system, const std::string& path);
+AnoleSystem load_system_from_file(const std::string& path);
+
+/// Total artifact size in bytes (what the device must download).
+std::uint64_t system_artifact_bytes(AnoleSystem& system);
+
+}  // namespace anole::core

@@ -1,0 +1,138 @@
+#include "core/decision_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nn/loss.hpp"
+#include "nn/serialize.hpp"
+#include "world/featurizer.hpp"
+
+namespace anole::core {
+
+DecisionDataset build_decision_dataset(ModelRepository& repository,
+                                       const DecisionSamplingConfig& config,
+                                       Rng& rng) {
+  DecisionDataset dataset;
+  const std::size_t n_models = repository.size();
+  if (n_models == 0) return dataset;
+
+  const auto sizes = repository.training_set_sizes();
+  sampling::AdaptiveSceneSampler adaptive(sizes, config.theta);
+  sampling::RandomSceneSampler random(sizes);
+
+  const world::FrameFeaturizer featurizer;
+  std::vector<float> feature_rows;
+  std::vector<float> target_rows;
+  std::size_t samples = 0;
+
+  for (std::size_t round = 0; round < config.budget; ++round) {
+    std::size_t arm;
+    if (config.adaptive) {
+      const auto next = adaptive.next_arm(rng);
+      if (!next) break;  // every Gamma_i is well sampled
+      arm = *next;
+      adaptive.record_draw(arm);
+    } else {
+      arm = random.next_arm(rng);
+      random.record_draw(arm);
+    }
+
+    const auto& model = repository.model(arm);
+    const auto& pool = model.validation_frames.empty()
+                           ? model.training_frames
+                           : model.validation_frames;
+    if (pool.empty()) continue;
+    const world::Frame& frame = *pool[rng.uniform_index(pool.size())];
+
+    // Test every compressed model on the sampled frame (paper IV-B); the
+    // allocation vector marks the models whose frame-level F1 passes both
+    // the absolute suitability threshold and a relative bar against the
+    // per-frame best, weighted by their F1 so clearly better models get
+    // more label mass.
+    std::vector<double> scores(n_models, 0.0);
+    for (std::size_t m = 0; m < n_models; ++m) {
+      scores[m] = detect::match_detections(
+                      repository.detector(m).detect(frame), frame.objects)
+                      .f1();
+    }
+    const std::size_t best = static_cast<std::size_t>(
+        std::max_element(scores.begin(), scores.end()) - scores.begin());
+    const double bar = std::max(config.suitability_f1 * scores[best],
+                                0.8 * scores[best]);
+    std::vector<float> allocation(n_models, 0.0f);
+    bool any = false;
+    for (std::size_t m = 0; m < n_models; ++m) {
+      if (scores[m] > 0.0 && scores[m] >= bar) {
+        allocation[m] = static_cast<float>(scores[m]);
+        any = true;
+      }
+    }
+    if (!any) allocation[best] = 1.0f;
+
+    // Normalize the allocation vector into a distribution.
+    float sum = 0.0f;
+    for (float v : allocation) sum += v;
+    for (float& v : allocation) v /= sum;
+
+    const Tensor descriptor = featurizer.featurize(frame);
+    feature_rows.insert(feature_rows.end(), descriptor.data().begin(),
+                        descriptor.data().end());
+    target_rows.insert(target_rows.end(), allocation.begin(),
+                       allocation.end());
+    dataset.best_model.push_back(best);
+    dataset.source_arm.push_back(arm);
+    dataset.semantic_scene.push_back(frame.semantic_scene_id());
+    ++samples;
+  }
+
+  const std::size_t width = world::FrameFeaturizer::feature_count();
+  dataset.features = Tensor(Shape{samples, width}, std::move(feature_rows));
+  dataset.targets = Tensor(Shape{samples, n_models}, std::move(target_rows));
+  dataset.draws_per_model =
+      config.adaptive ? adaptive.draw_counts() : random.draw_counts();
+  return dataset;
+}
+
+DecisionModel::DecisionModel(SceneEncoder& encoder, std::size_t model_count,
+                             const DecisionModelConfig& config, Rng& rng)
+    : encoder_(&encoder), model_count_(model_count), config_(config) {
+  head_ = std::make_unique<nn::Sequential>();
+  head_->emplace<nn::Linear>(encoder.embedding_dim(), config.hidden_width,
+                             rng);
+  head_->emplace<nn::ReLU>();
+  head_->emplace<nn::Linear>(config.hidden_width, model_count, rng);
+  head_->set_training(false);
+}
+
+nn::TrainResult DecisionModel::train(const DecisionDataset& dataset,
+                                     Rng& rng) {
+  // Backbone frozen: embed once, train only the head on the embeddings.
+  const Tensor embeddings = encoder_->embed(dataset.features);
+  return nn::train_soft_classifier(*head_, embeddings, dataset.targets,
+                                   config_.train, rng);
+}
+
+Tensor DecisionModel::suitability(const Tensor& descriptors) {
+  head_->set_training(false);
+  return nn::softmax_rows(head_->forward(encoder_->embed(descriptors)));
+}
+
+std::vector<std::size_t> DecisionModel::rank(const Tensor& descriptor_row) {
+  const Tensor probs = suitability(descriptor_row);
+  std::vector<std::size_t> order(model_count_);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  auto row = probs.row(0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return row[a] > row[b]; });
+  return order;
+}
+
+std::uint64_t DecisionModel::flops_per_sample() const {
+  return encoder_->trunk_flops_per_sample() + head_->flops_per_sample();
+}
+
+std::uint64_t DecisionModel::head_weight_bytes() {
+  return nn::serialized_size_bytes(*head_);
+}
+
+}  // namespace anole::core

@@ -1,0 +1,93 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace anole::core {
+
+AnoleEngine::AnoleEngine(AnoleSystem& system, const EngineConfig& config)
+    : system_(&system),
+      config_(config),
+      cache_(system.repository.size(), config.cache),
+      top1_counts_(system.repository.size(), 0) {
+  if (system.repository.empty()) {
+    throw std::invalid_argument("AnoleEngine: empty model repository");
+  }
+  if (!system.decision) {
+    throw std::invalid_argument("AnoleEngine: missing decision model");
+  }
+  if (config.suitability_smoothing < 0.0 ||
+      config.suitability_smoothing >= 1.0) {
+    throw std::invalid_argument("AnoleEngine: smoothing must be in [0, 1)");
+  }
+  // Broadest model = most scene classes, ties broken by validation F1.
+  for (std::size_t m = 1; m < system.repository.size(); ++m) {
+    const SceneModel& candidate = system.repository.model(m);
+    const SceneModel& current = system.repository.model(fallback_model_);
+    if (candidate.scene_classes.size() > current.scene_classes.size() ||
+        (candidate.scene_classes.size() == current.scene_classes.size() &&
+         candidate.validation_f1 > current.validation_f1)) {
+      fallback_model_ = m;
+    }
+  }
+}
+
+AnoleEngine::AnoleEngine(AnoleSystem& system, const CacheConfig& cache_config)
+    : AnoleEngine(system, EngineConfig{cache_config, 0.0, 0.0}) {}
+
+EngineResult AnoleEngine::process(const world::Frame& frame) {
+  EngineResult result;
+  // MSS: suitability probabilities for this frame, optionally smoothed
+  // over time.
+  const Tensor descriptor = featurizer_.featurize(frame);
+  const Tensor probs = system_->decision->suitability(descriptor);
+  const std::size_t n = system_->repository.size();
+  if (smoothed_suitability_.size() != n) {
+    smoothed_suitability_.assign(probs.row(0).begin(), probs.row(0).end());
+  } else {
+    const double alpha = config_.suitability_smoothing;
+    auto row = probs.row(0);
+    for (std::size_t m = 0; m < n; ++m) {
+      smoothed_suitability_[m] =
+          alpha * smoothed_suitability_[m] + (1.0 - alpha) * row[m];
+    }
+  }
+  std::vector<std::size_t> ranking(n);
+  std::iota(ranking.begin(), ranking.end(), std::size_t{0});
+  std::sort(ranking.begin(), ranking.end(), [&](std::size_t a, std::size_t b) {
+    return smoothed_suitability_[a] > smoothed_suitability_[b];
+  });
+  result.top1_model = ranking[0];
+  result.top1_confidence = smoothed_suitability_[ranking[0]];
+  ++top1_counts_[ranking[0]];
+
+  // Case-3 fallback: no model looks suitable, use the broadest one.
+  if (config_.confidence_floor > 0.0 &&
+      result.top1_confidence < config_.confidence_floor) {
+    result.low_confidence = true;
+    ++low_confidence_;
+    std::rotate(ranking.begin(),
+                std::find(ranking.begin(), ranking.end(), fallback_model_),
+                ranking.end());
+  }
+
+  // CMD: resolve against the model cache.
+  const auto admission = cache_.admit(ranking);
+  result.served_model = admission.served_model;
+  result.cache_hit = admission.hit;
+  result.model_loaded = admission.loaded.has_value();
+
+  // MI: run the chosen compressed model.
+  result.detections =
+      system_->repository.detector(admission.served_model).detect(frame);
+
+  result.model_switched =
+      last_served_.has_value() && *last_served_ != admission.served_model;
+  if (result.model_switched) ++switches_;
+  last_served_ = admission.served_model;
+  ++frames_;
+  return result;
+}
+
+}  // namespace anole::core

@@ -1,0 +1,94 @@
+// Online Model Inference (OMI, paper section V): per-frame model selection
+// (MSS), cache-based deployment (CMD), and model inference (MI), plus two
+// optional extensions the paper motivates: a decision-confidence fallback
+// for samples outside every model's distribution (problem-formulation
+// case 3) and temporal smoothing of the suitability vector.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/decision_model.hpp"
+#include "core/model_cache.hpp"
+#include "core/repository.hpp"
+
+namespace anole::core {
+
+/// The downloadable artifact set produced by offline scene profiling:
+/// scene encoder, compressed-model repository, and decision model.
+struct AnoleSystem {
+  std::unique_ptr<SceneEncoder> encoder;
+  SemanticSceneIndex scene_index;
+  ModelRepository repository;
+  std::unique_ptr<DecisionModel> decision;
+
+  std::size_t model_count() const { return repository.size(); }
+};
+
+struct EngineConfig {
+  CacheConfig cache;
+  /// Exponential smoothing factor applied to the suitability vector across
+  /// consecutive frames: s_t = alpha * s_{t-1} + (1-alpha) * p_t.
+  /// 0 reproduces the paper's pure per-frame selection; ~0.5 damps model
+  /// thrashing on noisy streams at the cost of slower scene switches.
+  double suitability_smoothing = 0.0;
+  /// When the (smoothed) top-1 suitability probability falls below this
+  /// floor, the frame is treated as outside every Psi_i and served by the
+  /// broadest model in the repository (the paper's case-3 best effort).
+  /// 0 disables the fallback.
+  double confidence_floor = 0.0;
+};
+
+/// Everything that happened while processing one frame.
+struct EngineResult {
+  std::vector<detect::Detection> detections;
+  /// Model that actually served the frame.
+  std::size_t served_model = 0;
+  /// Top-1 model per the decision ranking.
+  std::size_t top1_model = 0;
+  /// Suitability probability of the top-1 model.
+  double top1_confidence = 0.0;
+  bool cache_hit = false;
+  /// True when a model load was triggered this frame.
+  bool model_loaded = false;
+  /// True when the served model differs from the previous frame's.
+  bool model_switched = false;
+  /// True when the confidence fallback replaced the decision's choice.
+  bool low_confidence = false;
+};
+
+class AnoleEngine {
+ public:
+  /// `system` must outlive the engine.
+  AnoleEngine(AnoleSystem& system, const EngineConfig& config);
+  AnoleEngine(AnoleSystem& system, const CacheConfig& cache_config);
+
+  EngineResult process(const world::Frame& frame);
+
+  const ModelCache& cache() const { return cache_; }
+  std::size_t model_switches() const { return switches_; }
+  std::size_t frames_processed() const { return frames_; }
+  std::size_t low_confidence_frames() const { return low_confidence_; }
+
+  /// The model served when confidence falls below the floor: the broadest
+  /// accepted model (most scene classes, ties by validation F1).
+  std::size_t fallback_model() const { return fallback_model_; }
+
+  /// Per-model counts of being ranked top-1 (the utility of Fig. 4b).
+  const std::vector<std::size_t>& top1_counts() const { return top1_counts_; }
+
+ private:
+  AnoleSystem* system_;
+  EngineConfig config_;
+  ModelCache cache_;
+  world::FrameFeaturizer featurizer_;
+  std::vector<std::size_t> top1_counts_;
+  std::vector<double> smoothed_suitability_;
+  std::size_t fallback_model_ = 0;
+  std::size_t switches_ = 0;
+  std::size_t frames_ = 0;
+  std::size_t low_confidence_ = 0;
+  std::optional<std::size_t> last_served_;
+};
+
+}  // namespace anole::core

@@ -1,0 +1,151 @@
+#include "core/model_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anole::core {
+
+const char* to_string(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kLfu:
+      return "LFU";
+    case EvictionPolicy::kLru:
+      return "LRU";
+    case EvictionPolicy::kFifo:
+      return "FIFO";
+  }
+  return "?";
+}
+
+ModelCache::ModelCache(std::size_t model_count, const CacheConfig& config)
+    : config_(config), model_count_(model_count),
+      use_counts_(model_count, 0) {
+  if (config.capacity == 0) {
+    throw std::invalid_argument("ModelCache: capacity must be >= 1");
+  }
+}
+
+std::optional<std::size_t> ModelCache::find(std::size_t model) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].model == model) return i;
+  }
+  return std::nullopt;
+}
+
+bool ModelCache::contains(std::size_t model) const {
+  return find(model).has_value();
+}
+
+std::vector<std::size_t> ModelCache::resident_models() const {
+  std::vector<std::size_t> models;
+  models.reserve(entries_.size());
+  for (const auto& entry : entries_) models.push_back(entry.model);
+  return models;
+}
+
+double ModelCache::miss_rate() const {
+  return lookups_ == 0 ? 0.0
+                       : static_cast<double>(misses_) /
+                             static_cast<double>(lookups_);
+}
+
+std::size_t ModelCache::pick_victim() const {
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const Entry& candidate = entries_[i];
+    const Entry& current = entries_[victim];
+    bool better = false;
+    switch (config_.policy) {
+      case EvictionPolicy::kLfu:
+        better = candidate.frequency < current.frequency ||
+                 (candidate.frequency == current.frequency &&
+                  candidate.last_used < current.last_used);
+        break;
+      case EvictionPolicy::kLru:
+        better = candidate.last_used < current.last_used;
+        break;
+      case EvictionPolicy::kFifo:
+        better = candidate.loaded_at < current.loaded_at;
+        break;
+    }
+    if (better) victim = i;
+  }
+  return victim;
+}
+
+void ModelCache::load(std::size_t model) {
+  if (entries_.size() >= config_.capacity) {
+    entries_.erase(entries_.begin() +
+                   static_cast<std::ptrdiff_t>(pick_victim()));
+  }
+  Entry entry;
+  entry.model = model;
+  entry.loaded_at = clock_;
+  entry.last_used = clock_;
+  entries_.push_back(entry);
+}
+
+void ModelCache::touch(std::size_t entry_index) {
+  entries_[entry_index].frequency += 1;
+  entries_[entry_index].last_used = clock_;
+}
+
+ModelCache::Admission ModelCache::admit(
+    std::span<const std::size_t> ranking) {
+  if (ranking.empty()) {
+    throw std::invalid_argument("ModelCache::admit: empty ranking");
+  }
+  ++clock_;
+  ++lookups_;
+  Admission admission;
+
+  const std::size_t top1 = ranking[0];
+  if (auto resident = find(top1)) {
+    admission.hit = true;
+    admission.served_model = top1;
+    touch(*resident);
+    use_counts_[top1] += 1;
+    return admission;
+  }
+
+  ++misses_;
+  // Serve with the best-ranked resident model, if any, and credit its use
+  // *before* the load so the eviction policy sees it as active.
+  std::optional<std::size_t> serving_model;
+  for (std::size_t model : ranking) {
+    if (contains(model)) {
+      serving_model = model;
+      break;
+    }
+  }
+  if (serving_model) touch(*find(*serving_model));
+
+  // Load top-1 (evicting per policy) so future frames of this scene hit.
+  const auto before = resident_models();
+  load(top1);
+  admission.loaded = top1;
+  for (std::size_t model : before) {
+    if (!contains(model)) {
+      admission.evicted = model;
+      break;
+    }
+  }
+
+  if (!serving_model) {
+    // Cold start: the freshly loaded top-1 serves the frame.
+    serving_model = top1;
+    touch(*find(top1));
+  }
+  admission.served_model = *serving_model;
+  use_counts_[admission.served_model] += 1;
+  return admission;
+}
+
+void ModelCache::preload(std::span<const std::size_t> models) {
+  for (std::size_t model : models) {
+    ++clock_;
+    if (!contains(model)) load(model);
+  }
+}
+
+}  // namespace anole::core

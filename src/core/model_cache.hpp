@@ -1,0 +1,90 @@
+// Cache-based Model Deployment (CMD, paper section V-B).
+//
+// A device can keep only `capacity` compressed models resident. Each frame
+// the decision model produces a ranking; the frame is served by the
+// best-ranked *resident* model, and on a top-1 miss the top-1 model is
+// loaded, evicting a victim chosen by the configured policy (the paper
+// motivates LFU from the power-law model-utility distribution; LRU and
+// FIFO are kept for the ablation bench).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace anole::core {
+
+enum class EvictionPolicy { kLfu, kLru, kFifo };
+
+const char* to_string(EvictionPolicy policy);
+
+struct CacheConfig {
+  std::size_t capacity = 5;
+  EvictionPolicy policy = EvictionPolicy::kLfu;
+};
+
+class ModelCache {
+ public:
+  /// What happened for one frame's ranking.
+  struct Admission {
+    /// Model used to serve this frame (best-ranked resident model).
+    std::size_t served_model = 0;
+    /// True when the top-1 model was already resident.
+    bool hit = false;
+    /// Model loaded this step (top-1 on a miss), if any.
+    std::optional<std::size_t> loaded;
+    /// Model evicted to make room, if any.
+    std::optional<std::size_t> evicted;
+  };
+
+  ModelCache(std::size_t model_count, const CacheConfig& config);
+
+  /// Serves a frame given the decision ranking (ranking[0] = top-1).
+  /// On a cold start (empty cache) the top-1 model is loaded synchronously
+  /// and counted as a miss.
+  Admission admit(std::span<const std::size_t> ranking);
+
+  /// Convenience overload for literal rankings.
+  Admission admit(std::initializer_list<std::size_t> ranking) {
+    return admit(std::span<const std::size_t>(ranking.begin(),
+                                              ranking.size()));
+  }
+
+  bool contains(std::size_t model) const;
+  std::vector<std::size_t> resident_models() const;
+  std::size_t capacity() const { return config_.capacity; }
+
+  std::size_t lookups() const { return lookups_; }
+  std::size_t misses() const { return misses_; }
+  double miss_rate() const;
+
+  /// Loads models up-front (no miss accounting), evicting as needed.
+  void preload(std::span<const std::size_t> models);
+
+  /// Per-model use counts (how often each model served a frame).
+  const std::vector<std::size_t>& use_counts() const { return use_counts_; }
+
+ private:
+  struct Entry {
+    std::size_t model = 0;
+    std::size_t frequency = 0;   // uses since load (LFU)
+    std::size_t last_used = 0;   // logical clock (LRU)
+    std::size_t loaded_at = 0;   // logical clock (FIFO)
+  };
+
+  std::optional<std::size_t> find(std::size_t model) const;
+  void load(std::size_t model);
+  std::size_t pick_victim() const;
+  void touch(std::size_t entry_index);
+
+  CacheConfig config_;
+  std::size_t model_count_;
+  std::vector<Entry> entries_;
+  std::vector<std::size_t> use_counts_;
+  std::size_t clock_ = 0;
+  std::size_t lookups_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace anole::core

@@ -1,0 +1,70 @@
+#include "core/profiler.hpp"
+
+#include "util/log.hpp"
+#include "world/featurizer.hpp"
+
+namespace anole::core {
+
+AnoleSystem OfflineProfiler::run(const world::World& world, Rng& rng,
+                                 ProfilerReport* report) const {
+  AnoleSystem system;
+  const auto train_frames = world.frames_with_role(world::SplitRole::kTrain);
+  const auto val_frames =
+      world.frames_with_role(world::SplitRole::kValidation);
+  if (train_frames.empty()) {
+    throw std::invalid_argument("OfflineProfiler: world has no train frames");
+  }
+
+  // --- Training dataset segmentation: semantic scenes (IV-A1) ---
+  system.scene_index = SemanticSceneIndex::build(train_frames);
+
+  // --- Scene embedding: train M_scene on semantic labels (IV-A2) ---
+  const world::FrameFeaturizer featurizer;
+  const Tensor train_descriptors = featurizer.featurize_batch(train_frames);
+  const auto train_labels = system.scene_index.labels_of(train_frames);
+  system.encoder = std::make_unique<SceneEncoder>(
+      system.scene_index.class_count(), config_.encoder, rng);
+  // Validation frames may include scenes absent from training; filter.
+  std::vector<const world::Frame*> usable_val;
+  for (const world::Frame* frame : val_frames) {
+    if (system.scene_index.class_of(*frame)) usable_val.push_back(frame);
+  }
+  const Tensor val_descriptors = featurizer.featurize_batch(usable_val);
+  const auto val_labels = system.scene_index.labels_of(usable_val);
+  const auto encoder_result = system.encoder->train(
+      train_descriptors, train_labels, rng, val_descriptors, val_labels);
+  if (config_.verbose) {
+    log_info("M_scene trained: acc=", encoder_result.final_train_accuracy,
+             " over ", system.scene_index.class_count(), " semantic scenes");
+  }
+
+  // --- Algorithm 1: compressed model repository ---
+  system.repository =
+      train_model_repository(*system.encoder, system.scene_index,
+                             train_frames, val_frames, config_.repository,
+                             rng);
+  if (config_.verbose) {
+    log_info("repository: ", system.repository.size(), " compressed models");
+  }
+
+  // --- ASS + decision model (IV-B, IV-C) ---
+  const DecisionDataset dataset =
+      build_decision_dataset(system.repository, config_.sampling, rng);
+  system.decision = std::make_unique<DecisionModel>(
+      *system.encoder, system.repository.size(), config_.decision, rng);
+  const auto decision_result = system.decision->train(dataset, rng);
+  if (config_.verbose) {
+    log_info("M_decision trained on ", dataset.features.rows(),
+             " ASS samples: acc=", decision_result.final_train_accuracy);
+  }
+
+  if (report != nullptr) {
+    report->encoder_train_accuracy = encoder_result.final_train_accuracy;
+    report->models_trained = system.repository.size();
+    report->decision_samples = dataset.features.rows();
+    report->decision_train_accuracy = decision_result.final_train_accuracy;
+  }
+  return system;
+}
+
+}  // namespace anole::core

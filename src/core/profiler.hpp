@@ -1,0 +1,43 @@
+// Offline Scene Profiling (OSP, paper section IV): the end-to-end cloud
+// pipeline that trains M_scene, the compressed-model repository
+// (Algorithm 1), the ASS dataset, and M_decision, producing the artifact
+// set a device downloads.
+#pragma once
+
+#include "core/engine.hpp"
+#include "world/world.hpp"
+
+namespace anole::core {
+
+struct ProfilerConfig {
+  SceneEncoderConfig encoder;
+  RepositoryConfig repository;
+  DecisionSamplingConfig sampling;
+  DecisionModelConfig decision;
+  bool verbose = false;
+};
+
+/// A small report of what the pipeline produced (used by tests/benches).
+struct ProfilerReport {
+  double encoder_train_accuracy = 0.0;
+  std::size_t models_trained = 0;
+  std::size_t decision_samples = 0;
+  double decision_train_accuracy = 0.0;
+};
+
+class OfflineProfiler {
+ public:
+  explicit OfflineProfiler(ProfilerConfig config = {})
+      : config_(std::move(config)) {}
+
+  /// Runs the full OSP pipeline on the seen portion of `world`.
+  AnoleSystem run(const world::World& world, Rng& rng,
+                  ProfilerReport* report = nullptr) const;
+
+  const ProfilerConfig& config() const { return config_; }
+
+ private:
+  ProfilerConfig config_;
+};
+
+}  // namespace anole::core

@@ -1,0 +1,199 @@
+#include "core/repository.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/log.hpp"
+#include "world/featurizer.hpp"
+
+namespace anole::core {
+
+std::vector<std::size_t> ModelRepository::training_set_sizes() const {
+  std::vector<std::size_t> sizes;
+  sizes.reserve(models_.size());
+  for (const auto& model : models_) {
+    sizes.push_back(model.training_frames.size());
+  }
+  return sizes;
+}
+
+namespace {
+
+/// Frames grouped by dense scene class.
+std::vector<std::vector<const world::Frame*>> group_by_class(
+    const SemanticSceneIndex& index,
+    const std::vector<const world::Frame*>& frames) {
+  std::vector<std::vector<const world::Frame*>> groups(index.class_count());
+  for (const world::Frame* frame : frames) {
+    const auto cls = index.class_of(*frame);
+    if (cls) groups[*cls].push_back(frame);
+  }
+  return groups;
+}
+
+/// Mean embedding per scene class; classes with no frames get zero rows
+/// and are excluded from clustering via the `present` mask.
+Tensor class_mean_embeddings(SceneEncoder& encoder,
+                             const SemanticSceneIndex& index,
+                             const std::vector<std::vector<const world::Frame*>>&
+                                 class_frames,
+                             std::vector<bool>& present) {
+  const world::FrameFeaturizer featurizer;
+  Tensor means = Tensor::matrix(index.class_count(), encoder.embedding_dim());
+  present.assign(index.class_count(), false);
+  for (std::size_t c = 0; c < class_frames.size(); ++c) {
+    if (class_frames[c].empty()) continue;
+    present[c] = true;
+    Tensor embeddings =
+        encoder.embed(featurizer.featurize_batch(class_frames[c]));
+    auto mean_row = means.row(c);
+    for (std::size_t i = 0; i < embeddings.rows(); ++i) {
+      auto row = embeddings.row(i);
+      for (std::size_t j = 0; j < row.size(); ++j) mean_row[j] += row[j];
+    }
+    for (auto& v : mean_row) v /= static_cast<float>(embeddings.rows());
+  }
+  return means;
+}
+
+}  // namespace
+
+ModelRepository train_model_repository(
+    SceneEncoder& encoder, const SemanticSceneIndex& scene_index,
+    const std::vector<const world::Frame*>& train_frames,
+    const std::vector<const world::Frame*>& val_frames,
+    const RepositoryConfig& config, Rng& rng) {
+  ModelRepository repository;
+
+  const auto train_by_class = group_by_class(scene_index, train_frames);
+  const auto val_by_class = group_by_class(scene_index, val_frames);
+
+  // Scene embedding (Algorithm 1 lines 1-3): mean trunk embedding per
+  // semantic scene class.
+  std::vector<bool> present;
+  const Tensor class_means =
+      class_mean_embeddings(encoder, scene_index, train_by_class, present);
+  std::vector<std::size_t> active_classes;
+  for (std::size_t c = 0; c < present.size(); ++c) {
+    if (present[c]) active_classes.push_back(c);
+  }
+  if (active_classes.empty()) return repository;
+
+  Tensor points =
+      Tensor::matrix(active_classes.size(), encoder.embedding_dim());
+  for (std::size_t i = 0; i < active_classes.size(); ++i) {
+    auto src = class_means.row(active_classes[i]);
+    std::copy(src.begin(), src.end(), points.row(i).begin());
+  }
+
+  // Small clusters receive a step count comparable to training on the
+  // whole corpus (per-scene fine-tuning budget).
+  detect::DetectorTrainConfig train_config = config.detector_train;
+  if (train_config.reference_frames == 0) {
+    train_config.reference_frames = train_frames.size();
+  }
+
+  // Model training with multi-level clustering (Algorithm 1 lines 4-13).
+  std::set<std::vector<std::size_t>> trained_scene_sets;
+  const std::size_t max_k =
+      std::min(config.max_cluster_k, active_classes.size());
+  for (std::size_t k = 2;
+       k <= max_k && repository.size() < config.target_models; ++k) {
+    cluster::KMeansConfig kmeans_config;
+    kmeans_config.clusters = k;
+    const auto clustering = cluster::kmeans(points, kmeans_config, rng);
+
+    for (std::size_t j = 0;
+         j < k && repository.size() < config.target_models; ++j) {
+      std::vector<std::size_t> member_classes;
+      for (std::size_t i = 0; i < active_classes.size(); ++i) {
+        if (clustering.assignments[i] == j) {
+          member_classes.push_back(active_classes[i]);
+        }
+      }
+      if (member_classes.empty()) continue;
+      // The same scene grouping can re-appear at several granularities;
+      // train it once.
+      if (!trained_scene_sets.insert(member_classes).second) continue;
+
+      std::vector<const world::Frame*> cluster_train;
+      std::vector<const world::Frame*> cluster_val;
+      for (std::size_t cls : member_classes) {
+        cluster_train.insert(cluster_train.end(), train_by_class[cls].begin(),
+                             train_by_class[cls].end());
+        cluster_val.insert(cluster_val.end(), val_by_class[cls].begin(),
+                           val_by_class[cls].end());
+      }
+      if (cluster_train.size() < config.min_training_frames ||
+          cluster_val.size() < config.min_validation_frames) {
+        continue;
+      }
+
+      detect::GridDetectorConfig detector_config = config.detector_config;
+      detector_config.name =
+          "M" + std::to_string(repository.size() + 1) + "(k=" +
+          std::to_string(k) + ",c=" + std::to_string(j) + ")";
+      auto detector = std::make_unique<detect::GridDetector>(
+          detector_config, rng,
+          cluster_train.front()->grid_size);
+      detect::train_detector(*detector, cluster_train, train_config, rng);
+      const double f1 = detect::evaluate_f1(*detector, cluster_val);
+      if (config.verbose) {
+        log_info("Algorithm1 k=", k, " cluster=", j, " scenes=",
+                 member_classes.size(), " train=", cluster_train.size(),
+                 " val_f1=", f1);
+      }
+      if (f1 > config.acceptance_threshold) {
+        SceneModel model;
+        model.detector = std::move(detector);
+        model.scene_classes = member_classes;
+        model.training_frames = std::move(cluster_train);
+        model.validation_frames = std::move(cluster_val);
+        model.validation_f1 = f1;
+        model.cluster_k = k;
+        model.name = detector_config.name;
+        repository.add(std::move(model));
+      }
+    }
+  }
+
+  if (config.backfill_uncovered_scenes) {
+    std::vector<bool> covered(scene_index.class_count(), false);
+    for (std::size_t m = 0; m < repository.size(); ++m) {
+      for (std::size_t cls : repository.model(m).scene_classes) {
+        covered[cls] = true;
+      }
+    }
+    for (std::size_t cls : active_classes) {
+      if (covered[cls] || repository.size() >= config.target_models) continue;
+      const auto& cluster_train = train_by_class[cls];
+      if (cluster_train.size() < config.min_training_frames / 2) continue;
+      detect::GridDetectorConfig detector_config = config.detector_config;
+      detector_config.name = "M" + std::to_string(repository.size() + 1) +
+                             "(scene=" + std::to_string(cls) + ")";
+      auto detector = std::make_unique<detect::GridDetector>(
+          detector_config, rng, cluster_train.front()->grid_size);
+      detect::train_detector(*detector, cluster_train, train_config, rng);
+      const double f1 = val_by_class[cls].empty()
+                            ? 0.0
+                            : detect::evaluate_f1(*detector,
+                                                  val_by_class[cls]);
+      if (config.verbose) {
+        log_info("Algorithm1 backfill scene=", cls, " train=",
+                 cluster_train.size(), " val_f1=", f1);
+      }
+      SceneModel model;
+      model.detector = std::move(detector);
+      model.scene_classes = {cls};
+      model.training_frames = cluster_train;
+      model.validation_frames = val_by_class[cls];
+      model.validation_f1 = f1;
+      model.cluster_k = 0;  // marks a backfilled specialist
+      model.name = detector_config.name;
+      repository.add(std::move(model));
+    }
+  }
+  return repository;
+}
+
+}  // namespace anole::core

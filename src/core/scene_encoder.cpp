@@ -1,0 +1,66 @@
+#include "core/scene_encoder.hpp"
+
+namespace anole::core {
+
+SceneEncoder::SceneEncoder(std::size_t class_count,
+                           const SceneEncoderConfig& config, Rng& rng)
+    : class_count_(class_count), config_(config) {
+  const std::size_t input = world::FrameFeaturizer::feature_count();
+  trunk_ = std::make_unique<nn::Sequential>();
+  trunk_->emplace<nn::Linear>(input, config.hidden_width, rng);
+  trunk_->emplace<nn::ReLU>();
+  trunk_->emplace<nn::Linear>(config.hidden_width, config.embedding_dim, rng);
+  trunk_->emplace<nn::ReLU>();
+  head_ = std::make_unique<nn::Sequential>();
+  head_->emplace<nn::Linear>(config.embedding_dim, class_count, rng);
+  trunk_->set_training(false);
+  head_->set_training(false);
+}
+
+Tensor SceneEncoder::forward(const Tensor& input) {
+  return head_->forward(trunk_->forward(input));
+}
+
+Tensor SceneEncoder::backward(const Tensor& grad_output) {
+  return trunk_->backward(head_->backward(grad_output));
+}
+
+std::vector<nn::Parameter*> SceneEncoder::parameters() {
+  auto params = trunk_->parameters();
+  for (nn::Parameter* p : head_->parameters()) params.push_back(p);
+  return params;
+}
+
+void SceneEncoder::set_training(bool training) {
+  nn::Module::set_training(training);
+  trunk_->set_training(training);
+  head_->set_training(training);
+}
+
+std::uint64_t SceneEncoder::flops_per_sample() const {
+  return trunk_->flops_per_sample() + head_->flops_per_sample();
+}
+
+std::uint64_t SceneEncoder::trunk_flops_per_sample() const {
+  return trunk_->flops_per_sample();
+}
+
+nn::TrainResult SceneEncoder::train(const Tensor& descriptors,
+                                    std::span<const std::size_t> labels,
+                                    Rng& rng, const Tensor& val_descriptors,
+                                    std::span<const std::size_t> val_labels) {
+  return nn::train_classifier(*this, descriptors, labels, config_.train, rng,
+                              val_descriptors, val_labels);
+}
+
+Tensor SceneEncoder::embed(const Tensor& descriptors) {
+  trunk_->set_training(false);
+  return trunk_->forward(descriptors);
+}
+
+Tensor SceneEncoder::classify(const Tensor& descriptors) {
+  set_training(false);
+  return forward(descriptors);
+}
+
+}  // namespace anole::core

@@ -1,0 +1,69 @@
+#include "core/semantic_scenes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace anole::core {
+
+SemanticSceneIndex SemanticSceneIndex::build(
+    const std::vector<const world::Frame*>& frames) {
+  SemanticSceneIndex index;
+  for (const world::Frame* frame : frames) {
+    index.semantic_ids_.push_back(frame->semantic_scene_id());
+  }
+  std::sort(index.semantic_ids_.begin(), index.semantic_ids_.end());
+  index.semantic_ids_.erase(
+      std::unique(index.semantic_ids_.begin(), index.semantic_ids_.end()),
+      index.semantic_ids_.end());
+  return index;
+}
+
+SemanticSceneIndex SemanticSceneIndex::from_semantic_ids(
+    std::vector<std::size_t> ids) {
+  SemanticSceneIndex index;
+  index.semantic_ids_ = std::move(ids);
+  std::sort(index.semantic_ids_.begin(), index.semantic_ids_.end());
+  index.semantic_ids_.erase(
+      std::unique(index.semantic_ids_.begin(), index.semantic_ids_.end()),
+      index.semantic_ids_.end());
+  return index;
+}
+
+std::optional<std::size_t> SemanticSceneIndex::class_of(
+    std::size_t semantic_id) const {
+  const auto it = std::lower_bound(semantic_ids_.begin(), semantic_ids_.end(),
+                                   semantic_id);
+  if (it == semantic_ids_.end() || *it != semantic_id) return std::nullopt;
+  return static_cast<std::size_t>(it - semantic_ids_.begin());
+}
+
+std::optional<std::size_t> SemanticSceneIndex::class_of(
+    const world::Frame& frame) const {
+  return class_of(frame.semantic_scene_id());
+}
+
+std::size_t SemanticSceneIndex::semantic_of(std::size_t class_id) const {
+  return semantic_ids_.at(class_id);
+}
+
+world::SceneAttributes SemanticSceneIndex::attributes_of(
+    std::size_t class_id) const {
+  return world::SceneAttributes::from_semantic_index(semantic_of(class_id));
+}
+
+std::vector<std::size_t> SemanticSceneIndex::labels_of(
+    const std::vector<const world::Frame*>& frames) const {
+  std::vector<std::size_t> labels;
+  labels.reserve(frames.size());
+  for (const world::Frame* frame : frames) {
+    const auto label = class_of(*frame);
+    if (!label) {
+      throw std::invalid_argument(
+          "SemanticSceneIndex::labels_of: frame from unindexed scene");
+    }
+    labels.push_back(*label);
+  }
+  return labels;
+}
+
+}  // namespace anole::core

@@ -1,0 +1,55 @@
+// Maps the sparse set of semantic scenes actually present in a corpus to
+// dense class labels for training M_scene (the paper's Gamma^sem scenes).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "world/frame.hpp"
+
+namespace anole::core {
+
+class SemanticSceneIndex {
+ public:
+  SemanticSceneIndex() = default;
+
+  /// Builds the index from the distinct semantic scenes of `frames`.
+  static SemanticSceneIndex build(
+      const std::vector<const world::Frame*>& frames);
+
+  /// Rebuilds an index from serialized semantic ids (deduplicated and
+  /// sorted); used when loading a deployed artifact.
+  static SemanticSceneIndex from_semantic_ids(std::vector<std::size_t> ids);
+
+  /// The sorted distinct semantic ids (position = dense class).
+  const std::vector<std::size_t>& semantic_ids() const {
+    return semantic_ids_;
+  }
+
+  /// Number of distinct semantic scenes (the m of Algorithm 1).
+  std::size_t class_count() const { return semantic_ids_.size(); }
+
+  /// Dense class of a semantic scene id, if present.
+  std::optional<std::size_t> class_of(std::size_t semantic_id) const;
+
+  /// Dense class of a frame's scene; nullopt for scenes unseen in training.
+  std::optional<std::size_t> class_of(const world::Frame& frame) const;
+
+  /// Semantic scene id of a dense class.
+  std::size_t semantic_of(std::size_t class_id) const;
+
+  /// Attributes of a dense class (for reporting).
+  world::SceneAttributes attributes_of(std::size_t class_id) const;
+
+  /// Dense class labels for `frames`; throws std::invalid_argument if any
+  /// frame's scene is absent from the index.
+  std::vector<std::size_t> labels_of(
+      const std::vector<const world::Frame*>& frames) const;
+
+ private:
+  /// Sorted distinct semantic ids; position = dense class.
+  std::vector<std::size_t> semantic_ids_;
+};
+
+}  // namespace anole::core

@@ -1,0 +1,120 @@
+#include "detect/detection.hpp"
+
+#include <algorithm>
+
+namespace anole::detect {
+
+double iou(double acx, double acy, double aw, double ah, double bcx,
+           double bcy, double bw, double bh) {
+  const double ax0 = acx - aw / 2;
+  const double ax1 = acx + aw / 2;
+  const double ay0 = acy - ah / 2;
+  const double ay1 = acy + ah / 2;
+  const double bx0 = bcx - bw / 2;
+  const double bx1 = bcx + bw / 2;
+  const double by0 = bcy - bh / 2;
+  const double by1 = bcy + bh / 2;
+  const double ix = std::max(0.0, std::min(ax1, bx1) - std::max(ax0, bx0));
+  const double iy = std::max(0.0, std::min(ay1, by1) - std::max(ay0, by0));
+  const double intersection = ix * iy;
+  const double union_area = aw * ah + bw * bh - intersection;
+  return union_area > 0.0 ? intersection / union_area : 0.0;
+}
+
+double iou(const Detection& a, const Detection& b) {
+  return iou(a.cx, a.cy, a.w, a.h, b.cx, b.cy, b.w, b.h);
+}
+
+double iou(const Detection& a, const world::ObjectInstance& b) {
+  return iou(a.cx, a.cy, a.w, a.h, b.cx, b.cy, b.w, b.h);
+}
+
+std::vector<Detection> non_maximum_suppression(std::vector<Detection> dets,
+                                               double threshold,
+                                               double min_center_distance) {
+  std::sort(dets.begin(), dets.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.confidence > b.confidence;
+            });
+  const double min_dist_sq = min_center_distance * min_center_distance;
+  std::vector<Detection> kept;
+  for (const auto& candidate : dets) {
+    bool suppressed = false;
+    for (const auto& keeper : kept) {
+      const double dx = candidate.cx - keeper.cx;
+      const double dy = candidate.cy - keeper.cy;
+      if (iou(candidate, keeper) > threshold ||
+          dx * dx + dy * dy < min_dist_sq) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(candidate);
+  }
+  return kept;
+}
+
+MatchCounts& MatchCounts::operator+=(const MatchCounts& other) {
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  false_negatives += other.false_negatives;
+  return *this;
+}
+
+double MatchCounts::precision() const {
+  const std::size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double MatchCounts::recall() const {
+  const std::size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double MatchCounts::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+MatchCounts match_detections(const std::vector<Detection>& detections,
+                             const std::vector<world::ObjectInstance>& truth,
+                             double iou_threshold) {
+  std::vector<std::size_t> order(detections.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return detections[a].confidence > detections[b].confidence;
+  });
+
+  std::vector<bool> truth_matched(truth.size(), false);
+  MatchCounts counts;
+  for (std::size_t idx : order) {
+    const Detection& det = detections[idx];
+    double best_iou = iou_threshold;
+    std::size_t best_truth = truth.size();
+    for (std::size_t t = 0; t < truth.size(); ++t) {
+      if (truth_matched[t]) continue;
+      const double overlap = iou(det, truth[t]);
+      if (overlap >= best_iou) {
+        best_iou = overlap;
+        best_truth = t;
+      }
+    }
+    if (best_truth < truth.size()) {
+      truth_matched[best_truth] = true;
+      ++counts.true_positives;
+    } else {
+      ++counts.false_positives;
+    }
+  }
+  for (bool matched : truth_matched) {
+    if (!matched) ++counts.false_negatives;
+  }
+  return counts;
+}
+
+}  // namespace anole::detect

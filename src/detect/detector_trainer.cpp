@@ -1,0 +1,144 @@
+#include "detect/detector_trainer.hpp"
+
+#include <algorithm>
+
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/log.hpp"
+
+namespace anole::detect {
+namespace {
+
+/// Splits detector outputs [cells, 5] into objectness [cells, 1] and
+/// boxes [cells, 4] views (copies; cheap at this scale).
+void split_outputs(const Tensor& outputs, Tensor& objectness, Tensor& boxes) {
+  const std::size_t cells = outputs.rows();
+  objectness = Tensor::matrix(cells, 1);
+  boxes = Tensor::matrix(cells, 4);
+  for (std::size_t i = 0; i < cells; ++i) {
+    auto row = outputs.row(i);
+    objectness.at(i, 0) = row[0];
+    for (std::size_t c = 0; c < 4; ++c) boxes.at(i, c) = row[c + 1];
+  }
+}
+
+Tensor merge_gradients(const Tensor& grad_objectness, const Tensor& grad_boxes,
+                       double box_weight) {
+  const std::size_t cells = grad_objectness.rows();
+  Tensor grad = Tensor::matrix(cells, GridDetector::kOutputsPerCell);
+  for (std::size_t i = 0; i < cells; ++i) {
+    auto row = grad.row(i);
+    row[0] = grad_objectness.at(i, 0);
+    for (std::size_t c = 0; c < 4; ++c) {
+      row[c + 1] = static_cast<float>(box_weight) * grad_boxes.at(i, c);
+    }
+  }
+  return grad;
+}
+
+}  // namespace
+
+std::size_t DetectorTrainConfig::effective_epochs(std::size_t frames) const {
+  if (reference_frames == 0 || frames == 0 || frames >= reference_frames) {
+    return epochs;
+  }
+  const std::size_t scaled = epochs * reference_frames / frames;
+  return std::min(scaled, epochs * 6);
+}
+
+DetectorTrainResult train_detector(
+    GridDetector& detector, const std::vector<const world::Frame*>& frames,
+    const DetectorTrainConfig& config, Rng& rng) {
+  DetectorTrainResult result;
+  result.frames_seen = frames.size();
+  if (frames.empty()) return result;
+
+  nn::Sequential& net = detector.network();
+  net.set_training(true);
+  nn::Adam optimizer(net.parameters(), config.learning_rate, 0.9, 0.999,
+                     1e-8, config.weight_decay);
+
+  const std::size_t epochs = config.effective_epochs(frames.size());
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    auto order = random_permutation(frames.size(), rng);
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    for (std::size_t start = 0; start < order.size();
+         start += config.frames_per_batch) {
+      const std::size_t end =
+          std::min(start + config.frames_per_batch, order.size());
+      // Stack the per-cell rows of all frames in the batch.
+      std::vector<Tensor> frame_inputs;
+      std::vector<GridDetector::Targets> frame_targets;
+      std::size_t total_cells = 0;
+      for (std::size_t k = start; k < end; ++k) {
+        const world::Frame& frame = *frames[order[k]];
+        frame_inputs.push_back(GridDetector::build_inputs(frame));
+        frame_targets.push_back(GridDetector::build_targets(frame));
+        total_cells += frame.cell_count();
+      }
+      Tensor inputs =
+          Tensor::matrix(total_cells, GridDetector::input_features());
+      Tensor target_obj = Tensor::matrix(total_cells, 1);
+      Tensor target_boxes = Tensor::matrix(total_cells, 4);
+      Tensor box_mask = Tensor::matrix(total_cells, 4);
+      std::size_t row = 0;
+      for (std::size_t f = 0; f < frame_inputs.size(); ++f) {
+        const std::size_t cells = frame_inputs[f].rows();
+        for (std::size_t i = 0; i < cells; ++i, ++row) {
+          auto src = frame_inputs[f].row(i);
+          std::copy(src.begin(), src.end(), inputs.row(row).begin());
+          target_obj.at(row, 0) = frame_targets[f].objectness.at(i, 0);
+          for (std::size_t c = 0; c < 4; ++c) {
+            target_boxes.at(row, c) = frame_targets[f].boxes.at(i, c);
+            box_mask.at(row, c) = frame_targets[f].box_mask.at(i, c);
+          }
+        }
+      }
+
+      Tensor outputs = net.forward(inputs);
+      Tensor objectness;
+      Tensor boxes;
+      split_outputs(outputs, objectness, boxes);
+
+      Tensor grad_obj;
+      Tensor grad_boxes;
+      const float obj_loss =
+          nn::bce_with_logits(objectness, target_obj, grad_obj,
+                              static_cast<float>(config.positive_weight));
+      const float box_loss =
+          nn::mse_loss(boxes, target_boxes, grad_boxes, box_mask);
+      net.backward(
+          merge_gradients(grad_obj, grad_boxes, config.box_loss_weight));
+      optimizer.step();
+      epoch_loss += obj_loss + config.box_loss_weight * box_loss;
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(std::max<std::size_t>(batches, 1));
+    result.epoch_losses.push_back(epoch_loss);
+    if (config.verbose) {
+      log_info(detector.name(), " epoch ", epoch, " loss ", epoch_loss);
+    }
+  }
+  net.set_training(false);
+  return result;
+}
+
+double evaluate_f1(Detector& detector,
+                   const std::vector<const world::Frame*>& frames,
+                   double iou_threshold) {
+  return evaluate_counts(detector, frames, iou_threshold).f1();
+}
+
+MatchCounts evaluate_counts(Detector& detector,
+                            const std::vector<const world::Frame*>& frames,
+                            double iou_threshold) {
+  MatchCounts counts;
+  for (const world::Frame* frame : frames) {
+    counts += match_detections(detector.detect(*frame), frame->objects,
+                               iou_threshold);
+  }
+  return counts;
+}
+
+}  // namespace anole::detect

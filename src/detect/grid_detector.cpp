@@ -1,0 +1,173 @@
+#include "detect/grid_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/serialize.hpp"
+#include "world/scene_style.hpp"
+
+namespace anole::detect {
+namespace {
+
+/// Context descriptor width: per-channel mean and stddev of the frame.
+constexpr std::size_t kContextFeatures = 2 * world::kCellChannels;
+
+void write_context(const world::Frame& frame, std::span<float> out) {
+  const std::size_t cells = frame.cell_count();
+  for (std::size_t c = 0; c < world::kCellChannels; ++c) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < cells; ++i) {
+      const float v = frame.cells.at(i, c);
+      sum += v;
+      sum_sq += static_cast<double>(v) * v;
+    }
+    const double mean = sum / static_cast<double>(cells);
+    const double var =
+        std::max(0.0, sum_sq / static_cast<double>(cells) - mean * mean);
+    out[c] = static_cast<float>(mean);
+    out[world::kCellChannels + c] = static_cast<float>(std::sqrt(var));
+  }
+}
+
+}  // namespace
+
+GridDetectorConfig GridDetectorConfig::compressed(std::string name) {
+  GridDetectorConfig config;
+  config.hidden = {16};
+  config.name = std::move(name);
+  return config;
+}
+
+GridDetectorConfig GridDetectorConfig::large(std::string name) {
+  GridDetectorConfig config;
+  config.hidden = {64, 64, 48};
+  config.name = std::move(name);
+  return config;
+}
+
+GridDetector::GridDetector(const GridDetectorConfig& config, Rng& rng,
+                           std::size_t grid_size)
+    : config_(config), grid_size_(grid_size) {
+  std::vector<std::size_t> widths;
+  widths.push_back(input_features());
+  for (std::size_t h : config.hidden) widths.push_back(h);
+  widths.push_back(kOutputsPerCell);
+  network_ = nn::make_mlp(widths, rng);
+  network_->set_training(false);
+}
+
+std::size_t GridDetector::input_features() {
+  // Cell channels + global context + normalized cell coordinates +
+  // 3x3-neighborhood mean of the object block (local-peak cue, so the
+  // shared head can suppress off-center cells of multi-cell objects).
+  return world::kCellChannels + kContextFeatures + 2 + world::kBlockChannels;
+}
+
+Tensor GridDetector::build_inputs(const world::Frame& frame) {
+  const std::size_t g = frame.grid_size;
+  const std::size_t cells = frame.cell_count();
+  Tensor inputs = Tensor::matrix(cells, input_features());
+  std::vector<float> context(kContextFeatures);
+  write_context(frame, context);
+  for (std::size_t y = 0; y < g; ++y) {
+    for (std::size_t x = 0; x < g; ++x) {
+      const std::size_t i = y * g + x;
+      auto row = inputs.row(i);
+      auto cell = frame.cells.row(i);
+      std::copy(cell.begin(), cell.end(), row.begin());
+      std::copy(context.begin(), context.end(),
+                row.begin() + world::kCellChannels);
+      row[world::kCellChannels + kContextFeatures] =
+          static_cast<float>(x) / static_cast<float>(g);
+      row[world::kCellChannels + kContextFeatures + 1] =
+          static_cast<float>(y) / static_cast<float>(g);
+      // Neighborhood mean of the object block.
+      float neighborhood[world::kBlockChannels] = {};
+      int count = 0;
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const int nx = static_cast<int>(x) + dx;
+          const int ny = static_cast<int>(y) + dy;
+          if (nx < 0 || ny < 0 || nx >= static_cast<int>(g) ||
+              ny >= static_cast<int>(g)) {
+            continue;
+          }
+          auto neighbor = frame.cells.row(static_cast<std::size_t>(ny) * g +
+                                          static_cast<std::size_t>(nx));
+          for (std::size_t c = 0; c < world::kBlockChannels; ++c) {
+            neighborhood[c] += neighbor[2 * world::kBlockChannels + c];
+          }
+          ++count;
+        }
+      }
+      for (std::size_t c = 0; c < world::kBlockChannels; ++c) {
+        row[world::kCellChannels + kContextFeatures + 2 + c] =
+            neighborhood[c] / static_cast<float>(count);
+      }
+    }
+  }
+  return inputs;
+}
+
+GridDetector::Targets GridDetector::build_targets(const world::Frame& frame) {
+  const std::size_t g = frame.grid_size;
+  Targets targets;
+  targets.objectness = Tensor::matrix(frame.cell_count(), 1);
+  targets.boxes = Tensor::matrix(frame.cell_count(), 4);
+  targets.box_mask = Tensor::matrix(frame.cell_count(), 4);
+  for (const auto& obj : frame.objects) {
+    const auto x = static_cast<std::size_t>(std::clamp(
+        obj.cx * static_cast<double>(g), 0.0, static_cast<double>(g - 1)));
+    const auto y = static_cast<std::size_t>(std::clamp(
+        obj.cy * static_cast<double>(g), 0.0, static_cast<double>(g - 1)));
+    const std::size_t i = y * g + x;
+    targets.objectness.at(i, 0) = 1.0f;
+    // Offsets of the center within its cell, then absolute size.
+    targets.boxes.at(i, 0) = static_cast<float>(
+        obj.cx * static_cast<double>(g) - static_cast<double>(x));
+    targets.boxes.at(i, 1) = static_cast<float>(
+        obj.cy * static_cast<double>(g) - static_cast<double>(y));
+    targets.boxes.at(i, 2) = static_cast<float>(obj.w);
+    targets.boxes.at(i, 3) = static_cast<float>(obj.h);
+    for (std::size_t c = 0; c < 4; ++c) targets.box_mask.at(i, c) = 1.0f;
+  }
+  return targets;
+}
+
+std::vector<Detection> GridDetector::detect(const world::Frame& frame) {
+  const std::size_t g = frame.grid_size;
+  Tensor inputs = build_inputs(frame);
+  Tensor outputs = network_->forward(inputs);
+  std::vector<Detection> detections;
+  for (std::size_t y = 0; y < g; ++y) {
+    for (std::size_t x = 0; x < g; ++x) {
+      const std::size_t i = y * g + x;
+      auto row = outputs.row(i);
+      const double confidence = 1.0 / (1.0 + std::exp(-row[0]));
+      if (confidence < config_.confidence_threshold) continue;
+      Detection det;
+      det.confidence = confidence;
+      const double dx = std::clamp(static_cast<double>(row[1]), 0.0, 1.0);
+      const double dy = std::clamp(static_cast<double>(row[2]), 0.0, 1.0);
+      det.cx = (static_cast<double>(x) + dx) / static_cast<double>(g);
+      det.cy = (static_cast<double>(y) + dy) / static_cast<double>(g);
+      det.w = std::clamp(static_cast<double>(row[3]), 0.02, 0.5);
+      det.h = std::clamp(static_cast<double>(row[4]), 0.02, 0.5);
+      detections.push_back(det);
+    }
+  }
+  return non_maximum_suppression(std::move(detections), config_.nms_threshold,
+                                 config_.nms_center_distance);
+}
+
+std::uint64_t GridDetector::flops_per_frame() const {
+  return network_->flops_per_sample() *
+         static_cast<std::uint64_t>(grid_size_ * grid_size_);
+}
+
+std::uint64_t GridDetector::weight_bytes() {
+  return nn::serialized_size_bytes(*network_);
+}
+
+}  // namespace anole::detect

@@ -1,0 +1,101 @@
+// Mobile-device simulator profiles (paper Table I devices: Jetson Nano,
+// Jetson TX2 NX, laptop).
+//
+// Latency follows the affine model  latency = overhead + compute_time,
+// where compute_time is proportional to model FLOPs. The per-device
+// coefficients are fitted to the paper's Table IV pair (YOLOv3-tiny,
+// YOLOv3) so the *shape* — fixed dispatch overhead plus a ~12x compute
+// spread — matches the measured hardware. FLOPs are expressed in "tiny
+// units": one unit is the compressed detector of this repo, which plays
+// the role YOLOv3-tiny plays in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace anole::device {
+
+/// One power configuration of a device (paper Fig. 11's TX2 NX modes).
+struct PowerMode {
+  std::string name;
+  double budget_watts = 20.0;
+  /// Relative compute throughput vs the device's max mode.
+  double throughput_scale = 1.0;
+  int cores = 6;
+};
+
+struct DeviceProfile {
+  std::string name;
+
+  /// FLOPs of one "tiny unit" (the compressed detector); set by the
+  /// factory functions from the actual model.
+  std::uint64_t reference_flops = 1;
+
+  /// Fixed per-inference dispatch overhead (ms).
+  double inference_overhead_ms = 10.0;
+  /// Compute time (ms) for one tiny unit of FLOPs at full throughput.
+  double ms_per_tiny_unit = 25.0;
+
+  /// Weight streaming bandwidth for model loads (paper-equivalent bytes).
+  double load_ms_per_mb = 20.0;
+  /// One-time deep-learning-framework initialization on first load.
+  double framework_init_ms = 1500.0;
+
+  double gpu_memory_mb = 4096.0;
+
+  /// Idle draw plus dynamic energy per tiny unit of compute.
+  double idle_watts = 2.0;
+  double joules_per_tiny_unit = 0.13;
+
+  std::vector<PowerMode> power_modes;
+
+  /// --- derived quantities ---
+
+  /// End-to-end inference latency for a model of `flops`.
+  double inference_latency_ms(std::uint64_t flops,
+                              double throughput_scale = 1.0) const;
+
+  /// Latency of loading `weight_mb` (paper-equivalent megabytes);
+  /// `first_load` adds framework initialization.
+  double load_latency_ms(double weight_mb, bool first_load) const;
+
+  /// Sustained power at `fps` frames/s of `flops_per_frame` compute,
+  /// clamped to the mode's budget.
+  double power_watts(std::uint64_t flops_per_frame, double fps,
+                     const PowerMode& mode) const;
+
+  /// Max achievable frame rate in a mode for a per-frame cost.
+  double max_fps(std::uint64_t flops_per_frame,
+                 const PowerMode& mode) const;
+
+  /// Calibrated Table-I devices. `reference_flops` is the FLOPs of the
+  /// compressed detector (one tiny unit).
+  static DeviceProfile jetson_nano(std::uint64_t reference_flops);
+  static DeviceProfile jetson_tx2_nx(std::uint64_t reference_flops);
+  static DeviceProfile laptop(std::uint64_t reference_flops);
+  static std::vector<DeviceProfile> all_devices(
+      std::uint64_t reference_flops);
+};
+
+/// Paper-equivalent memory accounting: maps this repo's (small) serialized
+/// model sizes onto the paper's Table IV scale, where the compressed
+/// detector weighs ~40 MB loaded and executing a detector costs ~1 GB of
+/// runtime + activations.
+class MemoryModel {
+ public:
+  /// `reference_bytes` = serialized size of the compressed detector.
+  explicit MemoryModel(std::uint64_t reference_bytes);
+
+  /// Loaded-weights footprint in paper-equivalent MB.
+  double load_mb(std::uint64_t bytes) const;
+
+  /// Execution footprint (weights + runtime + activations), batch size 1.
+  /// Detectors and classifier heads have different runtime constants.
+  double execution_mb(std::uint64_t bytes, bool is_detector) const;
+
+ private:
+  double mb_per_byte_;
+};
+
+}  // namespace anole::device

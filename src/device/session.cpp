@@ -1,0 +1,39 @@
+#include "device/session.hpp"
+
+namespace anole::device {
+
+DeviceSession::DeviceSession(const DeviceProfile& profile,
+                             double throughput_scale)
+    : profile_(profile), throughput_scale_(throughput_scale) {}
+
+double DeviceSession::process(const FrameCost& cost) {
+  double latency = 0.0;
+  if (cost.loaded_weight_mb > 0.0) {
+    latency +=
+        profile_.load_latency_ms(cost.loaded_weight_mb,
+                                 /*first_load=*/!framework_initialized_);
+    framework_initialized_ = true;
+  }
+  if (cost.decision_flops > 0) {
+    latency += profile_.inference_latency_ms(cost.decision_flops,
+                                             throughput_scale_);
+  }
+  latency +=
+      profile_.inference_latency_ms(cost.detector_flops, throughput_scale_);
+  latencies_.push_back(latency);
+  total_ms_ += latency;
+  return latency;
+}
+
+double DeviceSession::mean_latency_ms() const {
+  if (latencies_.empty()) return 0.0;
+  return total_ms_ / static_cast<double>(latencies_.size());
+}
+
+double DeviceSession::fps() const {
+  return total_ms_ > 0.0
+             ? 1000.0 * static_cast<double>(latencies_.size()) / total_ms_
+             : 0.0;
+}
+
+}  // namespace anole::device

@@ -1,0 +1,53 @@
+// DeviceSession: a simulated on-device inference timeline.
+//
+// Replays a frame stream against a device profile, charging framework
+// initialization on the first load, weight-streaming time on every model
+// load (cache misses), decision-model time per frame, and detector time
+// per frame — producing the per-frame latency series of Fig. 4(a) and the
+// end-to-end latency numbers of Table IV / Fig. 10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "device/profile.hpp"
+
+namespace anole::device {
+
+struct FrameCost {
+  /// Decision/selection compute for this frame (0 for single-model runs).
+  std::uint64_t decision_flops = 0;
+  /// Detector compute for this frame.
+  std::uint64_t detector_flops = 0;
+  /// Paper-equivalent MB of weights loaded synchronously this frame
+  /// (0 when the cache hit).
+  double loaded_weight_mb = 0.0;
+};
+
+class DeviceSession {
+ public:
+  DeviceSession(const DeviceProfile& profile, double throughput_scale = 1.0);
+
+  /// Charges one frame and returns its end-to-end latency in ms.
+  double process(const FrameCost& cost);
+
+  const std::vector<double>& frame_latencies_ms() const {
+    return latencies_;
+  }
+
+  double total_ms() const { return total_ms_; }
+  std::size_t frames() const { return latencies_.size(); }
+  double mean_latency_ms() const;
+
+  /// Average throughput over the session.
+  double fps() const;
+
+ private:
+  const DeviceProfile profile_;
+  double throughput_scale_;
+  bool framework_initialized_ = false;
+  std::vector<double> latencies_;
+  double total_ms_ = 0.0;
+};
+
+}  // namespace anole::device

@@ -1,0 +1,91 @@
+#include "eval/confusion.hpp"
+
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace anole::eval {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t classes)
+    : classes_(classes), counts_(classes * classes, 0) {
+  if (classes == 0) {
+    throw std::invalid_argument("ConfusionMatrix: classes must be >= 1");
+  }
+}
+
+void ConfusionMatrix::add(std::size_t truth, std::size_t predicted) {
+  if (truth >= classes_ || predicted >= classes_) {
+    throw std::out_of_range("ConfusionMatrix::add");
+  }
+  ++counts_[truth * classes_ + predicted];
+}
+
+std::size_t ConfusionMatrix::count(std::size_t truth,
+                                   std::size_t predicted) const {
+  return counts_.at(truth * classes_ + predicted);
+}
+
+std::size_t ConfusionMatrix::total() const {
+  std::size_t sum = 0;
+  for (std::size_t c : counts_) sum += c;
+  return sum;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::size_t all = total();
+  if (all == 0) return 0.0;
+  std::size_t diagonal = 0;
+  for (std::size_t i = 0; i < classes_; ++i) diagonal += count(i, i);
+  return static_cast<double>(diagonal) / static_cast<double>(all);
+}
+
+double ConfusionMatrix::normalized(std::size_t truth,
+                                   std::size_t predicted) const {
+  std::size_t row_total = 0;
+  for (std::size_t p = 0; p < classes_; ++p) row_total += count(truth, p);
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(count(truth, predicted)) /
+         static_cast<double>(row_total);
+}
+
+std::vector<double> ConfusionMatrix::per_class_recall() const {
+  std::vector<double> recalls(classes_, 0.0);
+  for (std::size_t i = 0; i < classes_; ++i) {
+    recalls[i] = normalized(i, i);
+  }
+  return recalls;
+}
+
+double ConfusionMatrix::balanced_accuracy() const {
+  double sum = 0.0;
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < classes_; ++i) {
+    std::size_t row_total = 0;
+    for (std::size_t p = 0; p < classes_; ++p) row_total += count(i, p);
+    if (row_total == 0) continue;
+    sum += normalized(i, i);
+    ++active;
+  }
+  return active == 0 ? 0.0 : sum / static_cast<double>(active);
+}
+
+std::string ConfusionMatrix::to_table(
+    const std::vector<std::string>& labels) const {
+  std::vector<std::string> header;
+  header.push_back("truth\\pred");
+  for (std::size_t c = 0; c < classes_; ++c) {
+    header.push_back(c < labels.size() ? labels[c] : std::to_string(c));
+  }
+  anole::TablePrinter table(std::move(header));
+  for (std::size_t t = 0; t < classes_; ++t) {
+    std::vector<std::string> row;
+    row.push_back(t < labels.size() ? labels[t] : std::to_string(t));
+    for (std::size_t p = 0; p < classes_; ++p) {
+      row.push_back(anole::format_double(normalized(t, p), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+}  // namespace anole::eval

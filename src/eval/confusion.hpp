@@ -1,0 +1,41 @@
+// Confusion matrices for the scene encoder and decision model (Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace anole::eval {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t classes);
+
+  void add(std::size_t truth, std::size_t predicted);
+
+  std::size_t classes() const { return classes_; }
+  std::size_t count(std::size_t truth, std::size_t predicted) const;
+  std::size_t total() const;
+
+  /// Overall top-1 accuracy.
+  double accuracy() const;
+
+  /// Row-normalized value (P(pred | truth)); 0 for empty rows.
+  double normalized(std::size_t truth, std::size_t predicted) const;
+
+  /// Per-class recall (diagonal of the row-normalized matrix).
+  std::vector<double> per_class_recall() const;
+
+  /// Mean of per-class recalls over classes with at least one sample
+  /// (balanced accuracy).
+  double balanced_accuracy() const;
+
+  /// Renders the row-normalized matrix as an ASCII table.
+  std::string to_table(const std::vector<std::string>& labels = {}) const;
+
+ private:
+  std::size_t classes_;
+  std::vector<std::size_t> counts_;  // row-major [truth, predicted]
+};
+
+}  // namespace anole::eval

@@ -1,0 +1,36 @@
+#include "eval/f1_series.hpp"
+
+namespace anole::eval {
+
+std::vector<double> windowed_f1(const InferFn& infer,
+                                const std::vector<const world::Frame*>& frames,
+                                std::size_t window, double iou_threshold) {
+  std::vector<double> series;
+  if (window == 0) window = 1;
+  detect::MatchCounts counts;
+  std::size_t in_window = 0;
+  for (const world::Frame* frame : frames) {
+    counts += detect::match_detections(infer(*frame), frame->objects,
+                                       iou_threshold);
+    if (++in_window == window) {
+      series.push_back(counts.f1());
+      counts = {};
+      in_window = 0;
+    }
+  }
+  if (in_window > 0) series.push_back(counts.f1());
+  return series;
+}
+
+double overall_f1(const InferFn& infer,
+                  const std::vector<const world::Frame*>& frames,
+                  double iou_threshold) {
+  detect::MatchCounts counts;
+  for (const world::Frame* frame : frames) {
+    counts += detect::match_detections(infer(*frame), frame->objects,
+                                       iou_threshold);
+  }
+  return counts.f1();
+}
+
+}  // namespace anole::eval

@@ -1,0 +1,29 @@
+// Windowed-F1 series and related helpers for the cross-scene CDF figures
+// (paper computes F1 every ten frames, Fig. 8 / Fig. 10).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "detect/detection.hpp"
+#include "world/frame.hpp"
+
+namespace anole::eval {
+
+/// Any per-frame detector: a baseline method or the Anole engine.
+using InferFn =
+    std::function<std::vector<detect::Detection>(const world::Frame&)>;
+
+/// F1 computed over consecutive windows of `window` frames (the last,
+/// possibly shorter window is included when it has at least one frame).
+std::vector<double> windowed_f1(const InferFn& infer,
+                                const std::vector<const world::Frame*>& frames,
+                                std::size_t window = 10,
+                                double iou_threshold = detect::kDefaultIouThreshold);
+
+/// Aggregate F1 over all frames.
+double overall_f1(const InferFn& infer,
+                  const std::vector<const world::Frame*>& frames,
+                  double iou_threshold = detect::kDefaultIouThreshold);
+
+}  // namespace anole::eval

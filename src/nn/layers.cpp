@@ -1,0 +1,208 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anole::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_(Tensor::matrix(in_features, out_features)),
+      bias_(Tensor(Shape{out_features})) {
+  // He initialization: suited to the ReLU-family activations used here.
+  const double scale = std::sqrt(2.0 / static_cast<double>(in_features));
+  for (auto& w : weight_.value.data()) {
+    w = static_cast<float>(rng.normal(0.0, scale));
+  }
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.cols() != in_features_) {
+    throw std::invalid_argument("Linear::forward: expected [batch, " +
+                                std::to_string(in_features_) + "], got " +
+                                shape_to_string(input.shape()));
+  }
+  cached_input_ = input;
+  Tensor out = matmul(input, weight_.value);
+  add_row_broadcast(out, bias_.value);
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  weight_.grad += matmul_transpose_a(cached_input_, grad_output);
+  bias_.grad += sum_rows(grad_output);
+  return matmul_transpose_b(grad_output, weight_.value);
+}
+
+std::vector<Parameter*> Linear::parameters() { return {&weight_, &bias_}; }
+
+std::uint64_t Linear::flops_per_sample() const {
+  // One multiply + one add per weight, plus the bias add.
+  return 2ull * in_features_ * out_features_ + out_features_;
+}
+
+Tensor ReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  last_width_ = input.rank() == 2 ? input.cols() : input.size();
+  Tensor out = input;
+  for (auto& v : out.data()) v = v > 0.0f ? v : 0.0f;
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  auto in = cached_input_.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (in[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return grad;
+}
+
+Tensor LeakyReLU::forward(const Tensor& input) {
+  cached_input_ = input;
+  last_width_ = input.rank() == 2 ? input.cols() : input.size();
+  Tensor out = input;
+  for (auto& v : out.data()) {
+    if (v < 0.0f) v *= negative_slope_;
+  }
+  return out;
+}
+
+Tensor LeakyReLU::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  auto in = cached_input_.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (in[i] < 0.0f) g[i] *= negative_slope_;
+  }
+  return grad;
+}
+
+Tensor Sigmoid::forward(const Tensor& input) {
+  last_width_ = input.rank() == 2 ? input.cols() : input.size();
+  Tensor out = input;
+  for (auto& v : out.data()) v = 1.0f / (1.0f + std::exp(-v));
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  auto y = cached_output_.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0f - y[i]);
+  return grad;
+}
+
+Tensor Tanh::forward(const Tensor& input) {
+  last_width_ = input.rank() == 2 ? input.cols() : input.size();
+  Tensor out = input;
+  for (auto& v : out.data()) v = std::tanh(v);
+  cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::backward(const Tensor& grad_output) {
+  Tensor grad = grad_output;
+  auto y = cached_output_.data();
+  auto g = grad.data();
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= 1.0f - y[i] * y[i];
+  return grad;
+}
+
+Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
+  if (rate < 0.0f || rate >= 1.0f) {
+    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
+  }
+}
+
+Tensor Dropout::forward(const Tensor& input) {
+  if (!training() || rate_ == 0.0f) {
+    mask_ = Tensor();
+    return input;
+  }
+  mask_ = Tensor(input.shape());
+  const float keep = 1.0f - rate_;
+  Tensor out = input;
+  auto m = mask_.data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    // Inverted dropout keeps inference a no-op.
+    m[i] = rng_.bernoulli(keep) ? 1.0f / keep : 0.0f;
+    o[i] *= m[i];
+  }
+  return out;
+}
+
+Tensor Dropout::backward(const Tensor& grad_output) {
+  if (mask_.empty()) return grad_output;
+  Tensor grad = grad_output;
+  grad *= mask_;
+  return grad;
+}
+
+LayerNorm::LayerNorm(std::size_t features, float epsilon)
+    : features_(features),
+      epsilon_(epsilon),
+      gain_(Tensor(Shape{features}, 1.0f)),
+      bias_(Tensor(Shape{features})) {}
+
+Tensor LayerNorm::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.cols() != features_) {
+    throw std::invalid_argument("LayerNorm::forward: feature mismatch");
+  }
+  const std::size_t batch = input.rows();
+  Tensor out = input;
+  cached_normalized_ = Tensor::matrix(batch, features_);
+  cached_inv_std_ = Tensor(Shape{batch});
+  for (std::size_t r = 0; r < batch; ++r) {
+    auto row = out.row(r);
+    float m = 0.0f;
+    for (float v : row) m += v;
+    m /= static_cast<float>(features_);
+    float var = 0.0f;
+    for (float v : row) var += (v - m) * (v - m);
+    var /= static_cast<float>(features_);
+    const float inv_std = 1.0f / std::sqrt(var + epsilon_);
+    cached_inv_std_[r] = inv_std;
+    auto norm_row = cached_normalized_.row(r);
+    for (std::size_t c = 0; c < features_; ++c) {
+      norm_row[c] = (row[c] - m) * inv_std;
+      row[c] = norm_row[c] * gain_.value[c] + bias_.value[c];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_output) {
+  const std::size_t batch = grad_output.rows();
+  Tensor grad_input = Tensor::matrix(batch, features_);
+  for (std::size_t r = 0; r < batch; ++r) {
+    auto g = grad_output.row(r);
+    auto xhat = cached_normalized_.row(r);
+    const float inv_std = cached_inv_std_[r];
+    // Accumulate parameter grads and the two reduction terms.
+    float sum_gy = 0.0f;
+    float sum_gy_xhat = 0.0f;
+    for (std::size_t c = 0; c < features_; ++c) {
+      const float gy = g[c] * gain_.value[c];
+      gain_.grad[c] += g[c] * xhat[c];
+      bias_.grad[c] += g[c];
+      sum_gy += gy;
+      sum_gy_xhat += gy * xhat[c];
+    }
+    const float inv_n = 1.0f / static_cast<float>(features_);
+    auto gi = grad_input.row(r);
+    for (std::size_t c = 0; c < features_; ++c) {
+      const float gy = g[c] * gain_.value[c];
+      gi[c] = inv_std * (gy - inv_n * sum_gy - xhat[c] * inv_n * sum_gy_xhat);
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Parameter*> LayerNorm::parameters() { return {&gain_, &bias_}; }
+
+}  // namespace anole::nn

@@ -1,0 +1,148 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace anole::nn {
+namespace {
+
+void require(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+Tensor softmax_rows(const Tensor& logits) {
+  require(logits.rank() == 2, "softmax_rows: rank != 2");
+  Tensor out = logits;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    auto row = out.row(r);
+    float max_logit = row[0];
+    for (float v : row) max_logit = std::max(max_logit, v);
+    float sum = 0.0f;
+    for (auto& v : row) {
+      v = std::exp(v - max_logit);
+      sum += v;
+    }
+    for (auto& v : row) v /= sum;
+  }
+  return out;
+}
+
+float softmax_cross_entropy(const Tensor& logits,
+                            std::span<const std::size_t> labels,
+                            Tensor& grad) {
+  require(logits.rank() == 2, "softmax_cross_entropy: rank != 2");
+  require(labels.size() == logits.rows(),
+          "softmax_cross_entropy: batch mismatch");
+  const std::size_t batch = logits.rows();
+  grad = softmax_rows(logits);
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    require(labels[r] < logits.cols(),
+            "softmax_cross_entropy: label out of range");
+    auto g = grad.row(r);
+    loss -= std::log(std::max(g[labels[r]], 1e-12f));
+    g[labels[r]] -= 1.0f;
+    for (auto& v : g) v *= inv_batch;
+  }
+  return static_cast<float>(loss / static_cast<double>(batch));
+}
+
+float softmax_cross_entropy_soft(const Tensor& logits, const Tensor& targets,
+                                 Tensor& grad) {
+  require(logits.shape() == targets.shape(),
+          "softmax_cross_entropy_soft: shape mismatch");
+  const std::size_t batch = logits.rows();
+  grad = softmax_rows(logits);
+  double loss = 0.0;
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+  for (std::size_t r = 0; r < batch; ++r) {
+    auto g = grad.row(r);
+    auto t = targets.row(r);
+    for (std::size_t c = 0; c < g.size(); ++c) {
+      if (t[c] > 0.0f) {
+        loss -= static_cast<double>(t[c]) * std::log(std::max(g[c], 1e-12f));
+      }
+      g[c] = (g[c] - t[c]) * inv_batch;
+    }
+  }
+  return static_cast<float>(loss / static_cast<double>(batch));
+}
+
+float bce_with_logits(const Tensor& logits, const Tensor& targets,
+                      Tensor& grad, float positive_weight) {
+  require(logits.shape() == targets.shape(),
+          "bce_with_logits: shape mismatch");
+  grad = Tensor(logits.shape());
+  const std::size_t n = logits.size();
+  require(n > 0, "bce_with_logits: empty input");
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float z = logits[i];
+    const float t = targets[i];
+    const float p = 1.0f / (1.0f + std::exp(-z));
+    const float w = t > 0.5f ? positive_weight : 1.0f;
+    // Numerically stable BCE: max(z,0) - z*t + log(1+exp(-|z|)).
+    const float stable =
+        std::max(z, 0.0f) - z * t + std::log1p(std::exp(-std::abs(z)));
+    loss += static_cast<double>(w * stable);
+    grad[i] = w * (p - t) * inv_n;
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+float mse_loss(const Tensor& predictions, const Tensor& targets, Tensor& grad,
+               const Tensor& element_mask) {
+  require(predictions.shape() == targets.shape(), "mse_loss: shape mismatch");
+  const bool masked = !element_mask.empty();
+  if (masked) {
+    require(element_mask.shape() == predictions.shape(),
+            "mse_loss: mask shape mismatch");
+  }
+  grad = Tensor(predictions.shape());
+  const std::size_t n = predictions.size();
+  require(n > 0, "mse_loss: empty input");
+  double loss = 0.0;
+  double active = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float m = masked ? element_mask[i] : 1.0f;
+    if (m == 0.0f) continue;
+    const float diff = predictions[i] - targets[i];
+    loss += static_cast<double>(m) * diff * diff;
+    grad[i] = 2.0f * m * diff;
+    active += m;
+  }
+  if (active == 0.0) return 0.0f;
+  const float inv_active = static_cast<float>(1.0 / active);
+  for (auto& g : grad.data()) g *= inv_active;
+  return static_cast<float>(loss / active);
+}
+
+double accuracy(const Tensor& logits, std::span<const std::size_t> labels) {
+  if (logits.rows() == 0 || labels.size() != logits.rows()) return 0.0;
+  const auto predicted = argmax_rows(logits);
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < predicted.size(); ++r) {
+    if (predicted[r] == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& matrix) {
+  std::vector<std::size_t> out(matrix.rows(), 0);
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    auto row = matrix.row(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+}  // namespace anole::nn

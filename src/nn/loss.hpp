@@ -1,0 +1,49 @@
+// Loss functions with fused gradients.
+//
+// Each loss returns the scalar loss averaged over the batch and writes the
+// gradient with respect to the logits/predictions into `grad` (same shape
+// as the input), already divided by the batch size.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace anole::nn {
+
+/// Row-wise softmax of a [batch, classes] logit matrix.
+Tensor softmax_rows(const Tensor& logits);
+
+/// Softmax + cross-entropy against integer class labels.
+/// `labels[i]` must be in [0, classes).
+float softmax_cross_entropy(const Tensor& logits,
+                            std::span<const std::size_t> labels,
+                            Tensor& grad);
+
+/// Softmax + cross-entropy against soft target distributions
+/// (rows of `targets` sum to 1). Used by the decision model, whose labels
+/// are model-allocation vectors possibly marking several suitable models.
+float softmax_cross_entropy_soft(const Tensor& logits, const Tensor& targets,
+                                 Tensor& grad);
+
+/// Sigmoid + binary cross-entropy against {0,1} targets, optionally
+/// weighting positive targets by `positive_weight` (useful for the sparse
+/// objectness maps of the detector).
+float bce_with_logits(const Tensor& logits, const Tensor& targets,
+                      Tensor& grad, float positive_weight = 1.0f);
+
+/// Mean squared error, averaged over batch and features.
+/// If `element_mask` is non-empty it gates each element's contribution
+/// (used to regress box sizes only where an object exists).
+float mse_loss(const Tensor& predictions, const Tensor& targets, Tensor& grad,
+               const Tensor& element_mask = Tensor());
+
+/// Top-1 accuracy of logits against integer labels.
+double accuracy(const Tensor& logits, std::span<const std::size_t> labels);
+
+/// Row-wise argmax of a [batch, classes] matrix.
+std::vector<std::size_t> argmax_rows(const Tensor& matrix);
+
+}  // namespace anole::nn

@@ -1,0 +1,15 @@
+#include "nn/module.hpp"
+
+namespace anole::nn {
+
+std::uint64_t Module::parameter_count() {
+  std::uint64_t count = 0;
+  for (Parameter* p : parameters()) count += p->value.size();
+  return count;
+}
+
+void Module::zero_grad() {
+  for (Parameter* p : parameters()) p->zero_grad();
+}
+
+}  // namespace anole::nn

@@ -1,0 +1,77 @@
+// Minimal reverse-mode neural-network layer abstraction.
+//
+// This plays the role of PyTorch in the paper's stack: the scene encoder
+// (M_scene), the decision model (M_decision), and every detector are built
+// from these modules and trained with real gradient descent.
+//
+// The interface is deliberately simple: forward() caches whatever the layer
+// needs, backward() consumes the upstream gradient and returns the gradient
+// with respect to the layer input, accumulating parameter gradients into
+// Parameter::grad.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace anole::nn {
+
+/// A learnable tensor and its accumulated gradient.
+struct Parameter {
+  Tensor value;
+  Tensor grad;
+
+  explicit Parameter(Tensor initial)
+      : value(std::move(initial)), grad(value.shape()) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Base class for all layers. Inputs and outputs are [batch, features]
+/// matrices; layers that need other shapes document their convention.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Computes the layer output and caches what backward() needs.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Propagates `grad_output` (same shape as the last forward output),
+  /// accumulates parameter gradients, and returns the input gradient.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// All learnable parameters of this module (possibly empty).
+  virtual std::vector<Parameter*> parameters() { return {}; }
+
+  /// Training vs inference mode (affects Dropout).
+  virtual void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// Human-readable layer name for debugging and summaries.
+  virtual std::string name() const = 0;
+
+  /// Multiply-accumulate-style FLOPs for one input sample, used by the
+  /// device simulator to derive latency/energy (Table II / Table IV).
+  virtual std::uint64_t flops_per_sample() const { return 0; }
+
+  /// Number of scalar learnable parameters.
+  std::uint64_t parameter_count();
+
+  /// Clears all parameter gradients.
+  void zero_grad();
+
+ private:
+  bool training_ = true;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+}  // namespace anole::nn

@@ -1,0 +1,64 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+namespace anole::nn {
+
+Sequential& Sequential::add(ModulePtr module) {
+  modules_.push_back(std::move(module));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor current = input;
+  for (auto& module : modules_) current = module->forward(current);
+  return current;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor current = grad_output;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    current = (*it)->backward(current);
+  }
+  return current;
+}
+
+std::vector<Parameter*> Sequential::parameters() {
+  std::vector<Parameter*> params;
+  for (auto& module : modules_) {
+    for (Parameter* p : module->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+void Sequential::set_training(bool training) {
+  Module::set_training(training);
+  for (auto& module : modules_) module->set_training(training);
+}
+
+std::uint64_t Sequential::flops_per_sample() const {
+  std::uint64_t total = 0;
+  for (const auto& module : modules_) total += module->flops_per_sample();
+  return total;
+}
+
+std::unique_ptr<Sequential> make_mlp(const std::vector<std::size_t>& widths,
+                                     Rng& rng, float dropout_rate) {
+  if (widths.size() < 2) {
+    throw std::invalid_argument("make_mlp: need at least input and output");
+  }
+  auto net = std::make_unique<Sequential>();
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    net->emplace<Linear>(widths[i], widths[i + 1], rng);
+    const bool is_last = i + 2 == widths.size();
+    if (!is_last) {
+      net->emplace<ReLU>();
+      if (dropout_rate > 0.0f) {
+        net->emplace<Dropout>(dropout_rate, rng());
+      }
+    }
+  }
+  return net;
+}
+
+}  // namespace anole::nn

@@ -1,0 +1,102 @@
+#include "nn/serialize.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace anole::nn {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'A', 'N', 'O', 'L',
+                                        'E', 'W', 'T', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("load_parameters: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void save_parameters(Module& module, std::ostream& out) {
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, kVersion);
+  const auto params = module.parameters();
+  write_pod(out, static_cast<std::uint32_t>(params.size()));
+  for (Parameter* p : params) {
+    const Shape& shape = p->value.shape();
+    write_pod(out, static_cast<std::uint32_t>(shape.size()));
+    for (std::size_t d : shape) write_pod(out, static_cast<std::uint64_t>(d));
+    const auto data = p->value.data();
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  if (!out) throw std::runtime_error("save_parameters: write failed");
+}
+
+void load_parameters(Module& module, std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_parameters: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("load_parameters: unsupported version");
+  }
+  const auto params = module.parameters();
+  const auto count = read_pod<std::uint32_t>(in);
+  if (count != params.size()) {
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    const auto rank = read_pod<std::uint32_t>(in);
+    Shape shape(rank);
+    for (auto& d : shape) {
+      d = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+    }
+    if (shape != p->value.shape()) {
+      throw std::runtime_error("load_parameters: shape mismatch");
+    }
+    auto data = p->value.data();
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in) throw std::runtime_error("load_parameters: truncated payload");
+  }
+}
+
+void save_parameters_to_file(Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save_parameters(module, out);
+}
+
+void load_parameters_from_file(Module& module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  load_parameters(module, in);
+}
+
+std::uint64_t serialized_size_bytes(Module& module) {
+  std::uint64_t bytes = kMagic.size() + sizeof(kVersion) +
+                        sizeof(std::uint32_t);
+  for (Parameter* p : module.parameters()) {
+    bytes += sizeof(std::uint32_t);
+    bytes += p->value.shape().size() * sizeof(std::uint64_t);
+    bytes += p->value.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace anole::nn

@@ -1,0 +1,33 @@
+// Binary (de)serialization of module parameters.
+//
+// Mirrors the paper's deployment flow: models are trained by the offline
+// profiler ("cloud") and downloaded to the device as weight blobs; the
+// device simulator charges load latency proportional to the blob size.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace anole::nn {
+
+/// Writes all parameters of `module` to `out`. Format:
+/// magic "ANOLEWTS", u32 version, u32 parameter count, then per parameter
+/// u32 rank, u64 dims..., f32 data...
+void save_parameters(Module& module, std::ostream& out);
+
+/// Loads parameters into `module`. The module must already have the same
+/// architecture (same parameter count and shapes); throws std::runtime_error
+/// on any mismatch or malformed stream.
+void load_parameters(Module& module, std::istream& in);
+
+/// Convenience: file-based wrappers; throw std::runtime_error on I/O errors.
+void save_parameters_to_file(Module& module, const std::string& path);
+void load_parameters_from_file(Module& module, const std::string& path);
+
+/// Size in bytes the serialized parameters occupy (header + payload).
+std::uint64_t serialized_size_bytes(Module& module);
+
+}  // namespace anole::nn

@@ -1,0 +1,53 @@
+// Minibatch training loops for classification heads.
+//
+// Detector training has its own loop (src/detect/detector_trainer); this
+// trainer covers M_scene and M_decision, which are plain classifiers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/module.hpp"
+#include "util/rng.hpp"
+
+namespace anole::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 20;
+  std::size_t batch_size = 32;
+  double learning_rate = 1e-3;
+  double weight_decay = 1e-5;
+  /// Stop early after this many epochs without validation improvement;
+  /// 0 disables early stopping.
+  std::size_t patience = 0;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  std::vector<double> epoch_losses;
+  double final_train_accuracy = 0.0;
+  double best_validation_accuracy = 0.0;
+  std::size_t epochs_run = 0;
+};
+
+/// Trains `net` as a hard-label classifier with Adam. When validation data
+/// is supplied (val_inputs non-empty) the patience rule applies to
+/// validation accuracy.
+TrainResult train_classifier(Module& net, const Tensor& inputs,
+                             std::span<const std::size_t> labels,
+                             const TrainConfig& config, Rng& rng,
+                             const Tensor& val_inputs = Tensor(),
+                             std::span<const std::size_t> val_labels = {});
+
+/// Trains `net` against soft target rows (each row a distribution over
+/// classes). This is the decision-model objective: the model-allocation
+/// vector may mark several suitable compressed models.
+TrainResult train_soft_classifier(Module& net, const Tensor& inputs,
+                                  const Tensor& soft_targets,
+                                  const TrainConfig& config, Rng& rng);
+
+/// Slices rows `indices` of a [n, d] matrix into a new [k, d] matrix.
+Tensor gather_rows(const Tensor& matrix, std::span<const std::size_t> indices);
+
+}  // namespace anole::nn

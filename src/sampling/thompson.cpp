@@ -1,0 +1,119 @@
+#include "sampling/thompson.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace anole::sampling {
+
+double required_samples(std::size_t training_set_size, double theta) {
+  if (training_set_size <= 1) return 1.0;
+  if (theta <= 0.0 || theta >= 1.0) {
+    throw std::invalid_argument("required_samples: theta must be in (0,1)");
+  }
+  const double n = static_cast<double>(training_set_size);
+  const double numerator = std::log(1.0 - std::pow(theta, 1.0 / n));
+  const double denominator = std::log(1.0 - 1.0 / n);
+  return numerator / denominator;
+}
+
+AdaptiveSceneSampler::AdaptiveSceneSampler(
+    std::vector<std::size_t> training_set_sizes, double theta)
+    : theta_(theta) {
+  if (training_set_sizes.empty()) {
+    throw std::invalid_argument("AdaptiveSceneSampler: no training sets");
+  }
+  arms_.reserve(training_set_sizes.size());
+  for (std::size_t size : training_set_sizes) {
+    SamplingArm arm;
+    arm.training_set_size = size;
+    arms_.push_back(arm);
+  }
+}
+
+std::optional<std::size_t> AdaptiveSceneSampler::next_arm(Rng& rng) {
+  std::optional<std::size_t> best;
+  double best_draw = -1.0;
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    if (well_sampled(i)) continue;
+    const double draw = rng.beta(arms_[i].alpha, arms_[i].beta);
+    if (draw > best_draw) {
+      best_draw = draw;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void AdaptiveSceneSampler::record_draw(std::size_t arm) {
+  if (arm >= arms_.size()) {
+    throw std::out_of_range("AdaptiveSceneSampler::record_draw");
+  }
+  // Note: the paper's text updates the *chosen* arm with alpha+1 and all
+  // others with beta+1, but under "highest draw wins" that feedback loop is
+  // rich-get-richer: one training set monopolizes the budget and most
+  // scenes receive zero samples — the opposite of the balanced |S_i| the
+  // paper's Fig. 3(b) reports. We therefore apply the update with the roles
+  // reversed (chosen arm beta+1, others alpha+1), which makes
+  // under-sampled training sets progressively more likely to win and
+  // reproduces the balancing behaviour.
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    if (i == arm) {
+      arms_[i].beta += 1.0;
+      ++arms_[i].samples_drawn;
+    } else {
+      arms_[i].alpha += 1.0;
+    }
+  }
+}
+
+bool AdaptiveSceneSampler::well_sampled(std::size_t arm) const {
+  const SamplingArm& a = arms_.at(arm);
+  return static_cast<double>(a.samples_drawn) >
+         required_samples(a.training_set_size, theta_);
+}
+
+bool AdaptiveSceneSampler::all_well_sampled() const {
+  for (std::size_t i = 0; i < arms_.size(); ++i) {
+    if (!well_sampled(i)) return false;
+  }
+  return true;
+}
+
+std::vector<double> AdaptiveSceneSampler::draw_counts() const {
+  std::vector<double> counts;
+  counts.reserve(arms_.size());
+  for (const auto& arm : arms_) {
+    counts.push_back(static_cast<double>(arm.samples_drawn));
+  }
+  return counts;
+}
+
+RandomSceneSampler::RandomSceneSampler(
+    std::vector<std::size_t> training_set_sizes)
+    : sizes_(std::move(training_set_sizes)) {
+  if (sizes_.empty()) {
+    throw std::invalid_argument("RandomSceneSampler: no training sets");
+  }
+  weights_.reserve(sizes_.size());
+  for (std::size_t size : sizes_) {
+    weights_.push_back(static_cast<double>(size));
+  }
+  draws_.assign(sizes_.size(), 0);
+}
+
+std::size_t RandomSceneSampler::next_arm(Rng& rng) {
+  return rng.weighted_index(weights_);
+}
+
+void RandomSceneSampler::record_draw(std::size_t arm) {
+  ++draws_.at(arm);
+}
+
+std::vector<double> RandomSceneSampler::draw_counts() const {
+  std::vector<double> counts;
+  counts.reserve(draws_.size());
+  for (std::size_t d : draws_) counts.push_back(static_cast<double>(d));
+  return counts;
+}
+
+}  // namespace anole::sampling

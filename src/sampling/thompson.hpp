@@ -1,0 +1,81 @@
+// Adaptive Scene Sampling (ASS, paper section IV-B).
+//
+// Goal: build balanced per-model sample sets {Psi_i^sub} for decision-model
+// training without exhaustively testing every sample against every model.
+// Each compressed model's training set Gamma_i is an "arm"; Thompson
+// sampling over Beta(alpha_i, beta_i) picks which arm to sample next, and a
+// coupon-collector-style bound decides when an arm is "well sampled".
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace anole::sampling {
+
+/// The paper's well-sampledness bound: the number of draws needed from a
+/// training set of `training_set_size` elements so that, with confidence
+/// `theta`, every element has been seen at least once under uniform
+/// sampling with replacement:  log(1 - theta^(1/N)) / log(1 - 1/N).
+double required_samples(std::size_t training_set_size, double theta);
+
+/// One arm per compressed model / training set.
+struct SamplingArm {
+  double alpha = 1.0;
+  double beta = 1.0;
+  std::size_t samples_drawn = 0;
+  std::size_t training_set_size = 0;
+};
+
+/// Thompson-sampling scheduler over training sets.
+class AdaptiveSceneSampler {
+ public:
+  /// `training_set_sizes[i]` = |Gamma_i|; `theta` = well-sampled confidence.
+  AdaptiveSceneSampler(std::vector<std::size_t> training_set_sizes,
+                       double theta = 0.9);
+
+  /// Picks the next training set to sample: among arms not yet well
+  /// sampled, the one with the highest Beta draw. Returns nullopt when all
+  /// arms are well sampled.
+  std::optional<std::size_t> next_arm(Rng& rng);
+
+  /// Records that one sample was drawn from `arm`: alpha+1 for the chosen
+  /// arm, beta+1 for every other arm (the paper's update rule).
+  void record_draw(std::size_t arm);
+
+  bool well_sampled(std::size_t arm) const;
+  bool all_well_sampled() const;
+
+  std::size_t arm_count() const { return arms_.size(); }
+  const SamplingArm& arm(std::size_t i) const { return arms_.at(i); }
+
+  /// Draw counts per arm (the |S_i| of Fig. 3).
+  std::vector<double> draw_counts() const;
+
+ private:
+  std::vector<SamplingArm> arms_;
+  double theta_;
+};
+
+/// Baseline from the paper's Fig. 3(a): samples are drawn uniformly from
+/// the union of all training sets, so each arm is hit proportionally to its
+/// training-set size — producing unbalanced {S_i} when sets are skewed.
+class RandomSceneSampler {
+ public:
+  explicit RandomSceneSampler(std::vector<std::size_t> training_set_sizes);
+
+  std::size_t next_arm(Rng& rng);
+  void record_draw(std::size_t arm);
+
+  std::vector<double> draw_counts() const;
+  std::size_t arm_count() const { return sizes_.size(); }
+
+ private:
+  std::vector<std::size_t> sizes_;
+  std::vector<double> weights_;
+  std::vector<std::size_t> draws_;
+};
+
+}  // namespace anole::sampling

@@ -1,0 +1,298 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace anole {
+namespace {
+
+std::size_t shape_size(const Shape& shape) {
+  if (shape.empty()) return 0;
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+void require_same_shape(const Tensor& a, const Tensor& b,
+                        const char* op_name) {
+  if (a.shape() != b.shape()) {
+    std::ostringstream out;
+    out << op_name << ": shape mismatch " << shape_to_string(a.shape())
+        << " vs " << shape_to_string(b.shape());
+    throw std::invalid_argument(out.str());
+  }
+}
+
+}  // namespace
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(shape_size(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_size(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  require(data_.size() == shape_size(shape_),
+          "Tensor: data size does not match shape " +
+              shape_to_string(shape_));
+}
+
+Tensor Tensor::matrix(std::size_t rows, std::size_t cols, float fill) {
+  return Tensor(Shape{rows, cols}, fill);
+}
+
+Tensor Tensor::vector(std::initializer_list<float> values) {
+  return Tensor(Shape{values.size()}, std::vector<float>(values));
+}
+
+Tensor Tensor::vector(std::vector<float> values) {
+  const std::size_t n = values.size();
+  return Tensor(Shape{n}, std::move(values));
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  require(i < shape_.size(), "Tensor::dim: index out of range");
+  return shape_[i];
+}
+
+std::size_t Tensor::rows() const {
+  require(rank() == 2, "Tensor::rows: rank != 2");
+  return shape_[0];
+}
+
+std::size_t Tensor::cols() const {
+  require(rank() == 2, "Tensor::cols: rank != 2");
+  return shape_[1];
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+  return data_[r * shape_[1] + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+  return data_[r * shape_[1] + c];
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  require(shape_size(new_shape) == data_.size(),
+          "Tensor::reshaped: size mismatch for shape " +
+              shape_to_string(new_shape));
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  require_same_shape(*this, other, "operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  require_same_shape(*this, other, "operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& other) {
+  require_same_shape(*this, other, "operator*=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (float& v : data_) v *= scalar;
+  return *this;
+}
+
+void Tensor::add_scaled(const Tensor& other, float scale) {
+  require_same_shape(*this, other, "add_scaled");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scale * other.data_[i];
+  }
+}
+
+float Tensor::sum() const {
+  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) return 0.0f;
+  return sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+float Tensor::l2_norm() const {
+  double sum_sq = 0.0;
+  for (float v : data_) sum_sq += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(sum_sq));
+}
+
+std::span<float> Tensor::row(std::size_t r) {
+  require(rank() == 2, "Tensor::row: rank != 2");
+  require(r < shape_[0], "Tensor::row: row out of range");
+  return std::span<float>(data_).subspan(r * shape_[1], shape_[1]);
+}
+
+std::span<const float> Tensor::row(std::size_t r) const {
+  require(rank() == 2, "Tensor::row: rank != 2");
+  require(r < shape_[0], "Tensor::row: row out of range");
+  return std::span<const float>(data_).subspan(r * shape_[1], shape_[1]);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul: rank != 2");
+  require(a.cols() == b.rows(), "matmul: inner dimension mismatch " +
+                                    shape_to_string(a.shape()) + " x " +
+                                    shape_to_string(b.shape()));
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  Tensor c = Tensor::matrix(m, n);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  // i-k-j loop order keeps the inner loop contiguous in B and C.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_transpose_a: rank != 2");
+  require(a.rows() == b.rows(),
+          "matmul_transpose_a: outer dimension mismatch");
+  const std::size_t k = a.rows();
+  const std::size_t m = a.cols();
+  const std::size_t n = b.cols();
+  Tensor c = Tensor::matrix(m, n);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float aik = arow[i];
+      if (aik == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  require(a.rank() == 2 && b.rank() == 2, "matmul_transpose_b: rank != 2");
+  require(a.cols() == b.cols(),
+          "matmul_transpose_b: inner dimension mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.rows();
+  Tensor c = Tensor::matrix(m, n);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  float* pc = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float dot = 0.0f;
+      for (std::size_t kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+      crow[j] = dot;
+    }
+  }
+  return c;
+}
+
+Tensor operator+(Tensor a, const Tensor& b) {
+  a += b;
+  return a;
+}
+
+Tensor operator-(Tensor a, const Tensor& b) {
+  a -= b;
+  return a;
+}
+
+Tensor operator*(Tensor a, const Tensor& b) {
+  a *= b;
+  return a;
+}
+
+Tensor operator*(Tensor a, float scalar) {
+  a *= scalar;
+  return a;
+}
+
+void add_row_broadcast(Tensor& matrix, const Tensor& row_vector) {
+  require(matrix.rank() == 2, "add_row_broadcast: matrix rank != 2");
+  require(row_vector.rank() == 1 && row_vector.size() == matrix.cols(),
+          "add_row_broadcast: bias shape mismatch");
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    auto row = matrix.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) row[c] += row_vector[c];
+  }
+}
+
+Tensor sum_rows(const Tensor& matrix) {
+  Tensor out(Shape{matrix.cols()});
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    auto row = matrix.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) out[c] += row[c];
+  }
+  return out;
+}
+
+Tensor transpose(const Tensor& matrix) {
+  Tensor out = Tensor::matrix(matrix.cols(), matrix.rows());
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    for (std::size_t c = 0; c < matrix.cols(); ++c) {
+      out.at(c, r) = matrix.at(r, c);
+    }
+  }
+  return out;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float tol) {
+  if (a.shape() != b.shape()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace anole

@@ -1,0 +1,50 @@
+// Tiny leveled logger. Benches and examples use it for progress lines;
+// tests set the level to kError to stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace anole {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets / reads the global minimum level (process-wide, not thread-safe by
+/// design: the library is single-threaded).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes `message` to stderr when `level` is at or above the global level.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& out, const T& first, const Rest&... rest) {
+  out << first;
+  append_all(out, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_info(const Args&... args) {
+  std::ostringstream out;
+  detail::append_all(out, args...);
+  log_message(LogLevel::kInfo, out.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  std::ostringstream out;
+  detail::append_all(out, args...);
+  log_message(LogLevel::kDebug, out.str());
+}
+
+template <typename... Args>
+void log_warn(const Args&... args) {
+  std::ostringstream out;
+  detail::append_all(out, args...);
+  log_message(LogLevel::kWarn, out.str());
+}
+
+}  // namespace anole

@@ -1,0 +1,145 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anole {
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sum = 0.0;
+  for (double v : values) sum += (v - m) * (v - m);
+  return sum / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double min_value(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_value(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double percentile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 100.0);
+  const double rank = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> values) {
+  return percentile(values, 50.0);
+}
+
+BoxplotSummary boxplot_summary(std::span<const double> values) {
+  BoxplotSummary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = min_value(values);
+  s.q1 = percentile(values, 25.0);
+  s.median = percentile(values, 50.0);
+  s.q3 = percentile(values, 75.0);
+  s.max = max_value(values);
+  s.mean = mean(values);
+  return s;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
+                                    std::size_t max_points) {
+  std::vector<CdfPoint> cdf;
+  if (values.empty() || max_points == 0) return cdf;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const std::size_t points = std::min(max_points, n);
+  cdf.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Map output index to a sample index, inclusive of both ends.
+    const std::size_t idx =
+        points == 1 ? n - 1 : i * (n - 1) / (points - 1);
+    cdf.push_back({sorted[idx],
+                   static_cast<double>(idx + 1) / static_cast<double>(n)});
+  }
+  return cdf;
+}
+
+std::size_t Histogram::total() const {
+  std::size_t t = 0;
+  for (std::size_t c : counts) t += c;
+  return t;
+}
+
+double Histogram::fraction(std::size_t i) const {
+  const std::size_t t = total();
+  if (t == 0 || i >= counts.size()) return 0.0;
+  return static_cast<double>(counts[i]) / static_cast<double>(t);
+}
+
+Histogram make_histogram(std::span<const double> values, double lo, double hi,
+                         std::size_t bins) {
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins == 0 ? 1 : bins, 0);
+  if (hi <= lo) return h;
+  const double width = (hi - lo) / static_cast<double>(h.counts.size());
+  for (double v : values) {
+    const double clamped = std::clamp(v, lo, hi);
+    std::size_t idx = static_cast<std::size_t>((clamped - lo) / width);
+    idx = std::min(idx, h.counts.size() - 1);
+    ++h.counts[idx];
+  }
+  return h;
+}
+
+double correlation(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> normalize(std::span<const double> values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  std::vector<double> out(values.size(), 0.0);
+  if (sum == 0.0) return out;
+  for (std::size_t i = 0; i < values.size(); ++i) out[i] = values[i] / sum;
+  return out;
+}
+
+double coefficient_of_variation(std::span<const double> values) {
+  const double m = mean(values);
+  if (m == 0.0) return 0.0;
+  return stddev(values) / m;
+}
+
+}  // namespace anole

@@ -1,0 +1,81 @@
+// Descriptive statistics used throughout evaluation: means, percentiles,
+// CDF series (for the paper's CDF figures), boxplot summaries (Fig. 7a),
+// and histograms.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace anole {
+
+/// Arithmetic mean; 0 for an empty range.
+double mean(std::span<const double> values);
+
+/// Unbiased sample variance; 0 for ranges with fewer than 2 elements.
+double variance(std::span<const double> values);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> values);
+
+/// Smallest / largest element; 0 for empty ranges.
+double min_value(std::span<const double> values);
+double max_value(std::span<const double> values);
+
+/// Linear-interpolated percentile, q in [0, 100]. 0 for empty ranges.
+double percentile(std::span<const double> values, double q);
+
+/// Median (50th percentile).
+double median(std::span<const double> values);
+
+/// Five-number summary plus mean, as needed for boxplots (Fig. 7a).
+struct BoxplotSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+BoxplotSummary boxplot_summary(std::span<const double> values);
+
+/// One point of an empirical CDF: P(X <= value) = cumulative_probability.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative_probability = 0.0;
+};
+
+/// Empirical CDF down-sampled to at most `max_points` points
+/// (always keeps the first and last sample).
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
+                                    std::size_t max_points = 64);
+
+/// Fixed-width histogram over [lo, hi] with `bins` buckets; values outside
+/// the range are clamped into the boundary buckets.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::vector<std::size_t> counts;
+
+  std::size_t total() const;
+  /// Fraction of mass in bucket i.
+  double fraction(std::size_t i) const;
+};
+
+Histogram make_histogram(std::span<const double> values, double lo, double hi,
+                         std::size_t bins);
+
+/// Pearson correlation coefficient; 0 when undefined.
+double correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Normalizes values to sum to 1; returns all-zero when the sum is 0.
+std::vector<double> normalize(std::span<const double> values);
+
+/// Coefficient of variation (stddev / mean); used as a balance metric for
+/// the sampling experiments (Fig. 3). Returns 0 when the mean is 0.
+double coefficient_of_variation(std::span<const double> values);
+
+}  // namespace anole

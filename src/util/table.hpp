@@ -1,0 +1,42 @@
+// Minimal ASCII table / CSV rendering used by the benchmark harness to
+// print paper-style rows (tables and figure series).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace anole {
+
+/// Column-aligned ASCII table with a header row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; padded or truncated to the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats every cell with fixed precision.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  /// Renders the full table.
+  std::string to_string() const;
+
+  /// Renders as CSV (no alignment, comma-separated, quoted when needed).
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string format_double(double value, int precision = 3);
+
+/// Formats a ratio as a percentage string, e.g. 0.451 -> "45.1%".
+std::string format_percent(double ratio, int precision = 1);
+
+}  // namespace anole

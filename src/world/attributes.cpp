@@ -1,0 +1,101 @@
+#include "world/attributes.hpp"
+
+#include <stdexcept>
+
+namespace anole::world {
+
+const char* to_string(Weather weather) {
+  switch (weather) {
+    case Weather::kClear:
+      return "clear";
+    case Weather::kOvercast:
+      return "overcast";
+    case Weather::kRainy:
+      return "rainy";
+    case Weather::kSnowy:
+      return "snowy";
+    case Weather::kFoggy:
+      return "foggy";
+  }
+  return "?";
+}
+
+const char* to_string(Location location) {
+  switch (location) {
+    case Location::kHighway:
+      return "highway";
+    case Location::kUrban:
+      return "urban";
+    case Location::kResidential:
+      return "residential";
+    case Location::kParkingLot:
+      return "parking_lot";
+    case Location::kTunnel:
+      return "tunnel";
+    case Location::kGasStation:
+      return "gas_station";
+    case Location::kBridge:
+      return "bridge";
+    case Location::kTollBooth:
+      return "toll_booth";
+  }
+  return "?";
+}
+
+const char* to_string(TimeOfDay time) {
+  switch (time) {
+    case TimeOfDay::kDaytime:
+      return "daytime";
+    case TimeOfDay::kDawnDusk:
+      return "dawn_dusk";
+    case TimeOfDay::kNight:
+      return "night";
+  }
+  return "?";
+}
+
+std::size_t SceneAttributes::semantic_index() const {
+  return static_cast<std::size_t>(weather) * kLocationCount * kTimeOfDayCount +
+         static_cast<std::size_t>(location) * kTimeOfDayCount +
+         static_cast<std::size_t>(time);
+}
+
+SceneAttributes SceneAttributes::from_semantic_index(std::size_t index) {
+  if (index >= kSemanticSceneCount) {
+    throw std::out_of_range("SceneAttributes::from_semantic_index");
+  }
+  SceneAttributes attrs;
+  attrs.time = static_cast<TimeOfDay>(index % kTimeOfDayCount);
+  index /= kTimeOfDayCount;
+  attrs.location = static_cast<Location>(index % kLocationCount);
+  index /= kLocationCount;
+  attrs.weather = static_cast<Weather>(index);
+  return attrs;
+}
+
+std::string SceneAttributes::label() const {
+  return std::string(to_string(weather)) + "/" + to_string(location) + "/" +
+         to_string(time);
+}
+
+std::string SceneAttributes::short_label() const {
+  auto abbreviate = [](const std::string& name) {
+    std::string out;
+    out += static_cast<char>(std::toupper(name[0]));
+    if (name.size() > 1) out += name[1];
+    out += '.';
+    return out;
+  };
+  return abbreviate(to_string(location)) + ", " + abbreviate(to_string(time));
+}
+
+std::vector<SceneAttributes> all_scene_attributes() {
+  std::vector<SceneAttributes> all;
+  all.reserve(kSemanticSceneCount);
+  for (std::size_t i = 0; i < kSemanticSceneCount; ++i) {
+    all.push_back(SceneAttributes::from_semantic_index(i));
+  }
+  return all;
+}
+
+}  // namespace anole::world

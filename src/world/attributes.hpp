@@ -1,0 +1,75 @@
+// Semantic scene attributes, mirroring the paper's scene grammar for
+// driving data: {clear, overcast, rainy, snowy, foggy} weather x
+// {highway, urban, residential, parking lot, tunnel, gas station, bridge,
+// toll booth} location x {daytime, dawn/dusk, night} time-of-day,
+// giving the paper's 120 fine-grained semantic scenes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace anole::world {
+
+enum class Weather : std::uint8_t {
+  kClear = 0,
+  kOvercast,
+  kRainy,
+  kSnowy,
+  kFoggy,
+};
+inline constexpr std::size_t kWeatherCount = 5;
+
+enum class Location : std::uint8_t {
+  kHighway = 0,
+  kUrban,
+  kResidential,
+  kParkingLot,
+  kTunnel,
+  kGasStation,
+  kBridge,
+  kTollBooth,
+};
+inline constexpr std::size_t kLocationCount = 8;
+
+enum class TimeOfDay : std::uint8_t {
+  kDaytime = 0,
+  kDawnDusk,
+  kNight,
+};
+inline constexpr std::size_t kTimeOfDayCount = 3;
+
+/// Total number of fine-grained semantic scenes (5 x 8 x 3 = 120).
+inline constexpr std::size_t kSemanticSceneCount =
+    kWeatherCount * kLocationCount * kTimeOfDayCount;
+
+const char* to_string(Weather weather);
+const char* to_string(Location location);
+const char* to_string(TimeOfDay time);
+
+/// One point in the semantic scene grammar.
+struct SceneAttributes {
+  Weather weather = Weather::kClear;
+  Location location = Location::kUrban;
+  TimeOfDay time = TimeOfDay::kDaytime;
+
+  bool operator==(const SceneAttributes&) const = default;
+
+  /// Flat index in [0, kSemanticSceneCount).
+  std::size_t semantic_index() const;
+
+  /// Inverse of semantic_index().
+  static SceneAttributes from_semantic_index(std::size_t index);
+
+  /// e.g. "rainy/urban/night".
+  std::string label() const;
+
+  /// Short label like the paper's Table III headers, e.g. "Ur., Ni.".
+  std::string short_label() const;
+};
+
+/// All 120 attribute combinations in semantic-index order.
+std::vector<SceneAttributes> all_scene_attributes();
+
+}  // namespace anole::world

@@ -1,0 +1,33 @@
+// Global frame descriptor used as input to the scene encoder (M_scene) and
+// the decision model (M_decision): per-channel means and spreads plus a
+// luminance histogram. In the paper this role is played by raw pixels fed
+// to a ResNet18; here the descriptor is the fixed "stem" and the learned
+// encoder sits on top.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "world/frame.hpp"
+#include "world/scene_style.hpp"
+
+namespace anole::world {
+
+class FrameFeaturizer {
+ public:
+  /// Number of luminance histogram bins in the descriptor.
+  static constexpr std::size_t kHistogramBins = 8;
+
+  /// Descriptor width: mean + stddev per channel, plus the histogram.
+  static constexpr std::size_t feature_count() {
+    return 2 * kCellChannels + kHistogramBins;
+  }
+
+  /// Descriptor of one frame as a [1, feature_count] matrix row.
+  Tensor featurize(const Frame& frame) const;
+
+  /// Descriptors of many frames stacked into [n, feature_count].
+  Tensor featurize_batch(const std::vector<const Frame*>& frames) const;
+};
+
+}  // namespace anole::world

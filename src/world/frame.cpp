@@ -1,0 +1,38 @@
+#include "world/frame.hpp"
+
+namespace anole::world {
+
+double Frame::object_area_ratio() const {
+  double total = 0.0;
+  for (const auto& obj : objects) total += obj.area();
+  return total;
+}
+
+const char* to_string(SplitRole role) {
+  switch (role) {
+    case SplitRole::kTrain:
+      return "train";
+    case SplitRole::kValidation:
+      return "val";
+    case SplitRole::kTest:
+      return "test";
+    case SplitRole::kUnseen:
+      return "unseen";
+  }
+  return "?";
+}
+
+SplitRole Clip::split_role(std::size_t frame_index) const {
+  if (!seen) return SplitRole::kUnseen;
+  const std::size_t n = frames.size();
+  if (n == 0) return SplitRole::kTrain;
+  // Contiguous 6:2:2 blocks (temporal split avoids train/test leakage
+  // between adjacent, nearly identical frames).
+  const std::size_t train_end = n * 6 / 10;
+  const std::size_t val_end = n * 8 / 10;
+  if (frame_index < train_end) return SplitRole::kTrain;
+  if (frame_index < val_end) return SplitRole::kValidation;
+  return SplitRole::kTest;
+}
+
+}  // namespace anole::world

@@ -1,0 +1,65 @@
+// Renders Frames from a SceneStyle and an object list, and evolves object
+// state over time for clips.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "world/frame.hpp"
+#include "world/scene_style.hpp"
+
+namespace anole::world {
+
+/// The canonical object signature direction in the object block; scenes
+/// rotate it by SceneStyle::appearance_angle before imprinting.
+std::array<double, kBlockChannels> object_signature(double appearance_angle);
+
+/// Stateless frame renderer.
+class FrameGenerator {
+ public:
+  explicit FrameGenerator(std::size_t grid_size = kDefaultGridSize);
+
+  /// Renders one frame of `objects` under `style`. Fills features, stats,
+  /// attributes; provenance fields (clip/dataset ids) are left default.
+  Frame render(const SceneStyle& style, const SceneAttributes& attrs,
+               const std::vector<ObjectInstance>& objects, Rng& rng) const;
+
+  /// Samples a fresh object consistent with `style`.
+  ObjectInstance sample_object(const SceneStyle& style, Rng& rng) const;
+
+  std::size_t grid_size() const { return grid_size_; }
+
+ private:
+  std::size_t grid_size_;
+};
+
+/// Object motion state for temporally coherent clips.
+struct MovingObject {
+  ObjectInstance instance;
+  double vx = 0.0;
+  double vy = 0.0;
+  double growth = 0.0;  ///< per-frame relative size change (approach/recede)
+};
+
+/// Birth-death object dynamics targeting the style's object density.
+class ObjectDynamics {
+ public:
+  ObjectDynamics(const FrameGenerator& generator, const SceneStyle& style,
+                 Rng& rng);
+
+  /// Advances one frame and returns the current object list.
+  std::vector<ObjectInstance> step(Rng& rng);
+
+  /// Resets the population for a new scene (used at splice points of the
+  /// synthesized fast-changing clips).
+  void reset(const SceneStyle& style, Rng& rng);
+
+ private:
+  void spawn(Rng& rng);
+
+  const FrameGenerator& generator_;
+  SceneStyle style_;
+  std::vector<MovingObject> objects_;
+};
+
+}  // namespace anole::world

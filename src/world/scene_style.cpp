@@ -1,0 +1,170 @@
+#include "world/scene_style.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace anole::world {
+namespace {
+
+/// Per-location background texture signatures: distinct, roughly unit-norm
+/// directions so k-means on embeddings can separate locations.
+std::array<double, kBlockChannels> location_texture(Location location) {
+  switch (location) {
+    case Location::kHighway:
+      return {0.9, 0.1, -0.3, 0.2};
+    case Location::kUrban:
+      return {0.2, 0.9, 0.3, -0.2};
+    case Location::kResidential:
+      return {-0.1, 0.5, 0.8, 0.2};
+    case Location::kParkingLot:
+      return {0.4, -0.3, 0.6, 0.6};
+    case Location::kTunnel:
+      return {-0.7, -0.2, 0.1, 0.6};
+    case Location::kGasStation:
+      return {0.5, 0.5, -0.6, 0.3};
+    case Location::kBridge:
+      return {0.7, -0.5, 0.2, -0.4};
+    case Location::kTollBooth:
+      return {-0.3, 0.4, -0.5, 0.7};
+  }
+  return {};
+}
+
+}  // namespace
+
+SceneStyle SceneStyle::from_attributes(const SceneAttributes& attrs,
+                                       std::uint64_t jitter_seed,
+                                       double variation) {
+  SceneStyle style;
+
+  // --- time of day drives illumination ---
+  switch (attrs.time) {
+    case TimeOfDay::kDaytime:
+      style.brightness = 0.70;
+      style.contrast = 0.60;
+      style.appearance_angle = 0.0;
+      break;
+    case TimeOfDay::kDawnDusk:
+      style.brightness = 0.45;
+      style.contrast = 0.45;
+      style.appearance_angle = 1.1;
+      break;
+    case TimeOfDay::kNight:
+      style.brightness = 0.20;
+      style.contrast = 0.30;
+      style.appearance_angle = 2.2;
+      break;
+  }
+
+  // --- weather modulates illumination, noise, clutter, appearance ---
+  switch (attrs.weather) {
+    case Weather::kClear:
+      style.contrast += 0.10;
+      break;
+    case Weather::kOvercast:
+      style.brightness -= 0.10;
+      style.contrast -= 0.05;
+      style.appearance_angle += 0.25;
+      break;
+    case Weather::kRainy:
+      style.brightness -= 0.12;
+      style.contrast -= 0.10;
+      style.noise += 0.06;
+      style.clutter = 0.45;
+      style.appearance_angle += 0.70;
+      break;
+    case Weather::kSnowy:
+      style.brightness += 0.08;
+      style.contrast -= 0.15;
+      style.noise += 0.04;
+      style.clutter = 0.55;
+      style.appearance_angle += 0.80;
+      break;
+    case Weather::kFoggy:
+      style.brightness -= 0.05;
+      style.contrast -= 0.20;
+      style.fog = 0.5;
+      style.appearance_angle += 0.40;
+      break;
+  }
+
+  // --- location drives texture, density, scale, and tunnels darkness ---
+  style.texture = location_texture(attrs.location);
+  switch (attrs.location) {
+    case Location::kHighway:
+      style.object_density = 3.0;
+      style.object_scale = 0.16;
+      style.appearance_angle += 0.10;
+      break;
+    case Location::kUrban:
+      style.object_density = 6.0;
+      style.object_scale = 0.10;
+      break;
+    case Location::kResidential:
+      style.object_density = 3.5;
+      style.object_scale = 0.11;
+      style.appearance_angle += 0.22;
+      break;
+    case Location::kParkingLot:
+      style.object_density = 7.0;
+      style.object_scale = 0.13;
+      style.appearance_angle += 0.40;
+      break;
+    case Location::kTunnel:
+      style.object_density = 2.5;
+      style.object_scale = 0.14;
+      style.brightness = std::min(style.brightness, 0.28);
+      style.contrast -= 0.05;
+      style.appearance_angle += 0.70;
+      break;
+    case Location::kGasStation:
+      style.object_density = 4.0;
+      style.object_scale = 0.12;
+      style.appearance_angle += 0.28;
+      break;
+    case Location::kBridge:
+      style.object_density = 3.0;
+      style.object_scale = 0.13;
+      style.appearance_angle += 0.35;
+      break;
+    case Location::kTollBooth:
+      style.object_density = 5.0;
+      style.object_scale = 0.12;
+      style.appearance_angle += 0.50;
+      break;
+  }
+
+  // Weather thins out traffic slightly.
+  if (attrs.weather == Weather::kSnowy || attrs.weather == Weather::kFoggy) {
+    style.object_density *= 0.8;
+  }
+
+  // --- seeded jitter so datasets render the same scene slightly apart ---
+  if (variation > 0.0) {
+    Rng rng(jitter_seed ^ (attrs.semantic_index() * 0x9e3779b97f4a7c15ULL));
+    style.brightness += variation * rng.normal(0.0, 0.04);
+    style.contrast += variation * rng.normal(0.0, 0.04);
+    style.noise += variation * std::abs(rng.normal(0.0, 0.01));
+    style.appearance_angle += variation * rng.normal(0.0, 0.08);
+    style.object_density *= 1.0 + variation * rng.normal(0.0, 0.15);
+    for (auto& t : style.texture) t += variation * rng.normal(0.0, 0.05);
+  }
+
+  style.brightness = std::clamp(style.brightness, 0.05, 1.0);
+  style.contrast = std::clamp(style.contrast, 0.05, 1.0);
+  style.noise = std::clamp(style.noise, 0.01, 0.5);
+  style.object_density = std::max(style.object_density, 0.5);
+  return style;
+}
+
+double SceneStyle::object_visibility(double object_area) const {
+  // Smaller objects are further away: fog and low light hurt them more.
+  const double size_factor =
+      std::clamp(std::sqrt(std::max(object_area, 1e-4)) / 0.15, 0.3, 1.5);
+  const double light = std::clamp(0.35 + 1.1 * brightness, 0.0, 1.3);
+  const double fog_penalty = 1.0 - fog * (1.0 - 0.6 * size_factor);
+  return std::max(0.05, light * fog_penalty * object_gain * size_factor *
+                            (0.5 + 0.8 * contrast));
+}
+
+}  // namespace anole::world

@@ -1,0 +1,60 @@
+// SceneStyle: the generative latent of a semantic scene.
+//
+// The paper's premise is that the *data distribution* a frame is drawn from
+// is conditioned on the semantic scene (weather, location, time of day),
+// and that object appearance changes with it (cars look different at night,
+// rain adds clutter). SceneStyle encodes that conditioning as a small set
+// of interpretable generative parameters used by FrameGenerator.
+#pragma once
+
+#include <array>
+
+#include "util/rng.hpp"
+#include "world/attributes.hpp"
+
+namespace anole::world {
+
+/// Number of channels in each of the three cell-feature blocks
+/// (luminance, background texture, object signature).
+inline constexpr std::size_t kBlockChannels = 4;
+
+/// Total channels per grid cell.
+inline constexpr std::size_t kCellChannels = 3 * kBlockChannels;
+
+/// Generative parameters of one scene.
+struct SceneStyle {
+  /// Global illumination level in [0.05, 1].
+  double brightness = 0.65;
+  /// Luminance spread in [0.05, 1]; low contrast washes out objects.
+  double contrast = 0.5;
+  /// Additive sensor/weather noise sigma.
+  double noise = 0.05;
+  /// Fog density in [0, 1]; attenuates object visibility with distance.
+  double fog = 0.0;
+  /// Rain/snow clutter intensity in [0, 1]; injects false-object energy.
+  double clutter = 0.0;
+  /// Location texture signature written to the background block.
+  std::array<double, kBlockChannels> texture{};
+  /// Expected number of foreground objects per frame.
+  double object_density = 4.0;
+  /// Mean object size as a fraction of frame width.
+  double object_scale = 0.12;
+  /// Rotation (radians) of the object signature within the object block:
+  /// models appearance shift across time-of-day / weather.
+  double appearance_angle = 0.0;
+  /// Multiplier on object signal energy.
+  double object_gain = 1.0;
+
+  /// Deterministic style for a semantic scene. `variation` in [0, 1]
+  /// scales a seeded per-scene jitter so that distinct datasets can have
+  /// slightly different renditions of the same semantic scene.
+  static SceneStyle from_attributes(const SceneAttributes& attrs,
+                                    std::uint64_t jitter_seed = 0,
+                                    double variation = 0.0);
+
+  /// Effective visibility multiplier applied to object signal energy,
+  /// given an object's normalized size (proxy for distance).
+  double object_visibility(double object_area) const;
+};
+
+}  // namespace anole::world

@@ -1,0 +1,212 @@
+// Deployment-artifact round trips and the engine extensions (confidence
+// fallback, suitability smoothing), sharing one trained system.
+#include "core/artifact.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/profiler.hpp"
+#include "eval/f1_series.hpp"
+#include "util/log.hpp"
+
+namespace anole::core {
+namespace {
+
+class ArtifactTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_log_level(LogLevel::kError);
+    world::WorldConfig world_config;
+    world_config.frames_per_clip = 50;
+    world_config.clip_scale = 0.12;
+    world_config.seed = 77;
+    world_ = new world::World(world::make_benchmark_world(world_config));
+    ProfilerConfig config;
+    config.encoder.train.epochs = 15;
+    config.repository.target_models = 6;
+    config.repository.detector_train.epochs = 6;
+    config.repository.min_training_frames = 20;
+    config.repository.min_validation_frames = 4;
+    config.sampling.budget = 150;
+    config.decision.train.epochs = 15;
+    Rng rng(3);
+    OfflineProfiler profiler(config);
+    system_ = new AnoleSystem(profiler.run(*world_, rng));
+  }
+
+  static void TearDownTestSuite() {
+    delete system_;
+    delete world_;
+  }
+
+  static world::World* world_;
+  static AnoleSystem* system_;
+};
+
+world::World* ArtifactTest::world_ = nullptr;
+AnoleSystem* ArtifactTest::system_ = nullptr;
+
+TEST_F(ArtifactTest, RoundTripPreservesStructure) {
+  std::stringstream stream;
+  save_system(*system_, stream);
+  AnoleSystem loaded = load_system(stream);
+  EXPECT_EQ(loaded.model_count(), system_->model_count());
+  EXPECT_EQ(loaded.scene_index.class_count(),
+            system_->scene_index.class_count());
+  EXPECT_EQ(loaded.encoder->embedding_dim(),
+            system_->encoder->embedding_dim());
+  EXPECT_EQ(loaded.decision->model_count(),
+            system_->decision->model_count());
+  for (std::size_t m = 0; m < loaded.model_count(); ++m) {
+    EXPECT_EQ(loaded.repository.model(m).name,
+              system_->repository.model(m).name);
+    EXPECT_EQ(loaded.repository.model(m).scene_classes,
+              system_->repository.model(m).scene_classes);
+    EXPECT_DOUBLE_EQ(loaded.repository.model(m).validation_f1,
+                     system_->repository.model(m).validation_f1);
+    // Deployment artifacts ship no training data.
+    EXPECT_TRUE(loaded.repository.model(m).training_frames.empty());
+  }
+}
+
+TEST_F(ArtifactTest, RoundTripPreservesInference) {
+  std::stringstream stream;
+  save_system(*system_, stream);
+  AnoleSystem loaded = load_system(stream);
+  const auto frames = world_->frames_with_role(world::SplitRole::kTest);
+  ASSERT_GE(frames.size(), 10u);
+  const world::FrameFeaturizer featurizer;
+  for (std::size_t i = 0; i < 10; ++i) {
+    // Identical decision rankings.
+    EXPECT_EQ(loaded.decision->rank(featurizer.featurize(*frames[i])),
+              system_->decision->rank(featurizer.featurize(*frames[i])));
+    // Identical detections from every model.
+    for (std::size_t m = 0; m < loaded.model_count(); ++m) {
+      const auto a = loaded.repository.detector(m).detect(*frames[i]);
+      const auto b = system_->repository.detector(m).detect(*frames[i]);
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t d = 0; d < a.size(); ++d) {
+        EXPECT_DOUBLE_EQ(a[d].confidence, b[d].confidence);
+        EXPECT_DOUBLE_EQ(a[d].cx, b[d].cx);
+      }
+    }
+  }
+}
+
+TEST_F(ArtifactTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/anole_system.bin";
+  save_system_to_file(*system_, path);
+  AnoleSystem loaded = load_system_from_file(path);
+  EXPECT_EQ(loaded.model_count(), system_->model_count());
+  std::remove(path.c_str());
+}
+
+TEST_F(ArtifactTest, ArtifactSizeMatchesStream) {
+  std::stringstream stream;
+  save_system(*system_, stream);
+  EXPECT_EQ(system_artifact_bytes(*system_), stream.str().size());
+}
+
+TEST_F(ArtifactTest, RejectsGarbage) {
+  std::stringstream garbage("definitely not an artifact");
+  EXPECT_THROW((void)load_system(garbage), std::runtime_error);
+}
+
+TEST_F(ArtifactTest, RejectsTruncation) {
+  std::stringstream stream;
+  save_system(*system_, stream);
+  std::string data = stream.str();
+  data.resize(data.size() / 3);
+  std::stringstream truncated(data);
+  EXPECT_THROW((void)load_system(truncated), std::runtime_error);
+}
+
+TEST_F(ArtifactTest, IncompleteSystemRejected) {
+  AnoleSystem incomplete;
+  std::stringstream stream;
+  EXPECT_THROW(save_system(incomplete, stream), std::runtime_error);
+}
+
+TEST_F(ArtifactTest, LoadedSystemDrivesEngine) {
+  std::stringstream stream;
+  save_system(*system_, stream);
+  AnoleSystem loaded = load_system(stream);
+  CacheConfig cache_config;
+  cache_config.capacity = 3;
+  AnoleEngine engine(loaded, cache_config);
+  const auto frames = world_->frames_with_role(world::SplitRole::kTest);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_NO_THROW((void)engine.process(*frames[i]));
+  }
+  EXPECT_EQ(engine.frames_processed(), 20u);
+}
+
+TEST_F(ArtifactTest, ConfidenceFloorRoutesToFallback) {
+  EngineConfig config;
+  config.cache.capacity = 4;
+  config.confidence_floor = 1.1;  // impossible: every frame is low-confidence
+  AnoleEngine engine(*system_, config);
+  const auto frames = world_->frames_with_role(world::SplitRole::kTest);
+  for (std::size_t i = 0; i < 15; ++i) {
+    const auto result = engine.process(*frames[i]);
+    EXPECT_TRUE(result.low_confidence);
+    EXPECT_EQ(result.served_model, engine.fallback_model());
+  }
+  EXPECT_EQ(engine.low_confidence_frames(), 15u);
+  // The fallback is the broadest model.
+  const auto& fallback = system_->repository.model(engine.fallback_model());
+  for (std::size_t m = 0; m < system_->model_count(); ++m) {
+    EXPECT_GE(fallback.scene_classes.size(),
+              system_->repository.model(m).scene_classes.size());
+  }
+}
+
+TEST_F(ArtifactTest, ZeroFloorNeverTriggersFallback) {
+  EngineConfig config;
+  config.cache.capacity = 4;
+  config.confidence_floor = 0.0;
+  AnoleEngine engine(*system_, config);
+  const auto frames = world_->frames_with_role(world::SplitRole::kTest);
+  for (std::size_t i = 0; i < 15; ++i) {
+    EXPECT_FALSE(engine.process(*frames[i]).low_confidence);
+  }
+  EXPECT_EQ(engine.low_confidence_frames(), 0u);
+}
+
+TEST_F(ArtifactTest, SmoothingReducesModelSwitches) {
+  const auto frames = world_->frames_with_role(world::SplitRole::kTest);
+  EngineConfig raw;
+  raw.cache.capacity = 8;
+  AnoleEngine per_frame(*system_, raw);
+  EngineConfig smoothed = raw;
+  smoothed.suitability_smoothing = 0.8;
+  AnoleEngine damped(*system_, smoothed);
+  for (const world::Frame* frame : frames) {
+    (void)per_frame.process(*frame);
+    (void)damped.process(*frame);
+  }
+  EXPECT_LE(damped.model_switches(), per_frame.model_switches());
+}
+
+TEST_F(ArtifactTest, InvalidSmoothingRejected) {
+  EngineConfig config;
+  config.suitability_smoothing = 1.0;
+  EXPECT_THROW(AnoleEngine(*system_, config), std::invalid_argument);
+  config.suitability_smoothing = -0.1;
+  EXPECT_THROW(AnoleEngine(*system_, config), std::invalid_argument);
+}
+
+TEST_F(ArtifactTest, Top1ConfidenceReported) {
+  CacheConfig cache_config;
+  cache_config.capacity = 4;
+  AnoleEngine engine(*system_, cache_config);
+  const auto frames = world_->frames_with_role(world::SplitRole::kTest);
+  const auto result = engine.process(*frames[0]);
+  EXPECT_GT(result.top1_confidence, 0.0);
+  EXPECT_LE(result.top1_confidence, 1.0);
+}
+
+}  // namespace
+}  // namespace anole::core

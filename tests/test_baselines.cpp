@@ -1,0 +1,158 @@
+// Tests of the paper's candidate methods (SDM/SSM/CDG/DMM) and the Anole
+// adapter, on a shared tiny world.
+#include "baselines/methods.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.hpp"
+#include "eval/f1_series.hpp"
+#include "util/log.hpp"
+
+namespace anole::baselines {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_log_level(LogLevel::kError);
+    world::WorldConfig world_config;
+    world_config.frames_per_clip = 60;
+    world_config.clip_scale = 0.15;
+    world_config.seed = 55;
+    world_ = new world::World(world::make_benchmark_world(world_config));
+    rng_ = new Rng(5);
+    config_ = new BaselineConfig();
+    config_->detector_train.epochs = 12;
+    config_->cdg_clusters = 4;
+    sdm_ = train_sdm(*world_, *config_, *rng_).release();
+    ssm_ = train_ssm(*world_, *config_, *rng_).release();
+    cdg_ = train_cdg(*world_, *config_, *rng_).release();
+    dmm_ = train_dmm(*world_, *config_, *rng_).release();
+  }
+
+  static void TearDownTestSuite() {
+    delete sdm_;
+    delete ssm_;
+    delete cdg_;
+    delete dmm_;
+    delete config_;
+    delete rng_;
+    delete world_;
+  }
+
+  static world::World* world_;
+  static Rng* rng_;
+  static BaselineConfig* config_;
+  static SingleModelMethod* sdm_;
+  static SingleModelMethod* ssm_;
+  static CdgMethod* cdg_;
+  static DmmMethod* dmm_;
+};
+
+world::World* BaselineTest::world_ = nullptr;
+Rng* BaselineTest::rng_ = nullptr;
+BaselineConfig* BaselineTest::config_ = nullptr;
+SingleModelMethod* BaselineTest::sdm_ = nullptr;
+SingleModelMethod* BaselineTest::ssm_ = nullptr;
+CdgMethod* BaselineTest::cdg_ = nullptr;
+DmmMethod* BaselineTest::dmm_ = nullptr;
+
+TEST_F(BaselineTest, NamesAreStable) {
+  EXPECT_EQ(sdm_->name(), "SDM");
+  EXPECT_EQ(ssm_->name(), "SSM");
+  EXPECT_EQ(cdg_->name(), "CDG");
+  EXPECT_EQ(dmm_->name(), "DMM");
+}
+
+TEST_F(BaselineTest, SdmIsHeavierThanSsm) {
+  EXPECT_GT(sdm_->detector_flops(), 8 * ssm_->detector_flops());
+  EXPECT_GT(sdm_->weight_bytes(), ssm_->weight_bytes());
+  EXPECT_EQ(sdm_->decision_flops(), 0u);
+  EXPECT_EQ(ssm_->decision_flops(), 0u);
+}
+
+TEST_F(BaselineTest, MethodsProduceReasonableF1) {
+  const auto test = world_->frames_with_role(world::SplitRole::kTest);
+  // At this miniature scale absolute accuracies are low; the strong deep
+  // model must clearly work, every method must be valid, and at least half
+  // of them should be non-trivial.
+  std::size_t nontrivial = 0;
+  for (InferenceMethod* method :
+       std::vector<InferenceMethod*>{sdm_, ssm_, cdg_, dmm_}) {
+    const double f1 = eval::overall_f1(
+        [&](const world::Frame& f) { return method->infer(f); }, test);
+    EXPECT_GE(f1, 0.0) << method->name();
+    EXPECT_LE(f1, 1.0) << method->name();
+    if (f1 > 0.15) ++nontrivial;
+  }
+  EXPECT_GE(nontrivial, 2u);
+  const double sdm_f1 = eval::overall_f1(
+      [&](const world::Frame& f) { return sdm_->infer(f); }, test);
+  EXPECT_GT(sdm_f1, 0.3);
+}
+
+TEST_F(BaselineTest, CdgClusterSelectionIsDeterministic) {
+  const auto test = world_->frames_with_role(world::SplitRole::kTest);
+  ASSERT_FALSE(test.empty());
+  const std::size_t a = cdg_->select_cluster(*test[0]);
+  const std::size_t b = cdg_->select_cluster(*test[0]);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(a, config_->cdg_clusters);
+  EXPECT_GT(cdg_->decision_flops(), 0u);
+}
+
+TEST_F(BaselineTest, CdgCarriesOneDetectorPerCluster) {
+  EXPECT_EQ(cdg_->weight_bytes(),
+            config_->cdg_clusters * ssm_->weight_bytes());
+}
+
+TEST_F(BaselineTest, DmmRoutesByDatasetId) {
+  const auto test = world_->frames_with_role(world::SplitRole::kTest);
+  ASSERT_FALSE(test.empty());
+  // All frames carry valid dataset ids; inference must not throw.
+  EXPECT_NO_THROW((void)dmm_->infer(*test[0]));
+  world::Frame bogus = *test[0];
+  bogus.dataset_id = 99;
+  EXPECT_THROW((void)dmm_->infer(bogus), std::out_of_range);
+}
+
+TEST_F(BaselineTest, DmmHoldsOneModelPerDataset) {
+  EXPECT_EQ(dmm_->weight_bytes(),
+            world_->dataset_names.size() * ssm_->weight_bytes());
+}
+
+TEST_F(BaselineTest, AnoleAdapterWorksEndToEnd) {
+  core::ProfilerConfig profiler_config;
+  profiler_config.encoder.train.epochs = 15;
+  profiler_config.repository.target_models = 6;
+  profiler_config.repository.detector_train.epochs = 6;
+  profiler_config.repository.min_training_frames = 20;
+  profiler_config.repository.min_validation_frames = 4;
+  profiler_config.sampling.budget = 200;
+  profiler_config.decision.train.epochs = 20;
+  core::OfflineProfiler profiler(profiler_config);
+  Rng rng(9);
+  core::AnoleSystem system = profiler.run(*world_, rng);
+  core::CacheConfig cache_config;
+  cache_config.capacity = 3;
+  AnoleMethod anole(system, cache_config);
+  EXPECT_EQ(anole.name(), "Anole");
+  EXPECT_GT(anole.decision_flops(), 0u);
+  EXPECT_GT(anole.weight_bytes(), 0u);
+  const auto test = world_->frames_with_role(world::SplitRole::kTest);
+  const double f1 = eval::overall_f1(
+      [&](const world::Frame& f) { return anole.infer(f); }, test);
+  EXPECT_GT(f1, 0.15);
+  EXPECT_GT(anole.engine().frames_processed(), 0u);
+}
+
+TEST(BaselineErrors, EmptyWorldThrows) {
+  world::World empty;
+  Rng rng(1);
+  BaselineConfig config;
+  EXPECT_THROW((void)train_sdm(empty, config, rng), std::invalid_argument);
+  EXPECT_THROW((void)train_cdg(empty, config, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace anole::baselines

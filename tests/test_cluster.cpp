@@ -1,0 +1,140 @@
+#include "cluster/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace anole::cluster {
+namespace {
+
+/// `blobs` well-separated Gaussian clusters of `per_blob` points each.
+Tensor make_blobs(std::size_t blobs, std::size_t per_blob, Rng& rng) {
+  Tensor points = Tensor::matrix(blobs * per_blob, 2);
+  for (std::size_t b = 0; b < blobs; ++b) {
+    const double cx = 10.0 * static_cast<double>(b);
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      const std::size_t row = b * per_blob + i;
+      points.at(row, 0) = static_cast<float>(rng.normal(cx, 0.3));
+      points.at(row, 1) = static_cast<float>(rng.normal(-cx, 0.3));
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, RecoversSeparableBlobs) {
+  Rng rng(3);
+  const Tensor points = make_blobs(3, 30, rng);
+  KMeansConfig config;
+  config.clusters = 3;
+  const auto result = kmeans(points, config, rng);
+  // Every blob's points share one label, and labels differ across blobs.
+  std::set<std::size_t> blob_labels;
+  for (std::size_t b = 0; b < 3; ++b) {
+    const std::size_t label = result.assignments[b * 30];
+    for (std::size_t i = 0; i < 30; ++i) {
+      EXPECT_EQ(result.assignments[b * 30 + i], label);
+    }
+    blob_labels.insert(label);
+  }
+  EXPECT_EQ(blob_labels.size(), 3u);
+  EXPECT_LT(result.inertia, 100.0);
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean) {
+  Rng rng(4);
+  Tensor points(Shape{4, 1}, std::vector<float>{0.0f, 2.0f, 4.0f, 6.0f});
+  KMeansConfig config;
+  config.clusters = 1;
+  const auto result = kmeans(points, config, rng);
+  EXPECT_NEAR(result.centroids.at(0, 0), 3.0f, 1e-5f);
+}
+
+TEST(KMeans, ClusterSizesSumToN) {
+  Rng rng(5);
+  const Tensor points = make_blobs(4, 25, rng);
+  KMeansConfig config;
+  config.clusters = 4;
+  const auto result = kmeans(points, config, rng);
+  const auto sizes = result.cluster_sizes();
+  std::size_t total = 0;
+  for (std::size_t s : sizes) total += s;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(KMeans, RejectsTooFewPoints) {
+  Rng rng(6);
+  const Tensor points = Tensor::matrix(2, 3);
+  KMeansConfig config;
+  config.clusters = 5;
+  EXPECT_THROW((void)kmeans(points, config, rng), std::invalid_argument);
+  config.clusters = 0;
+  EXPECT_THROW((void)kmeans(points, config, rng), std::invalid_argument);
+}
+
+TEST(KMeans, RejectsNonMatrix) {
+  Rng rng(7);
+  const Tensor points(Shape{10});
+  KMeansConfig config;
+  EXPECT_THROW((void)kmeans(points, config, rng), std::invalid_argument);
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  Rng rng(8);
+  const Tensor points = Tensor::matrix(10, 2, 1.0f);  // all identical
+  KMeansConfig config;
+  config.clusters = 3;
+  const auto result = kmeans(points, config, rng);
+  EXPECT_EQ(result.assignments.size(), 10u);
+  EXPECT_LE(result.inertia, 1e-6);
+}
+
+TEST(KMeans, InertiaNonIncreasingInK) {
+  Rng rng(9);
+  const Tensor points = make_blobs(5, 20, rng);
+  double previous = 1e18;
+  for (std::size_t k = 1; k <= 6; ++k) {
+    KMeansConfig config;
+    config.clusters = k;
+    // Best of 3 seedings to smooth out k-means++ randomness.
+    double best = 1e18;
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      best = std::min(best, kmeans(points, config, rng).inertia);
+    }
+    EXPECT_LE(best, previous * 1.01) << "k=" << k;
+    previous = best;
+  }
+}
+
+TEST(NearestCentroid, PicksClosest) {
+  Tensor centroids(Shape{3, 2},
+                   std::vector<float>{0, 0, 10, 0, 0, 10});
+  const std::vector<float> point = {7.0f, 1.0f};
+  EXPECT_EQ(nearest_centroid(centroids, point), 1u);
+}
+
+TEST(SquaredDistance, KnownValue) {
+  const std::vector<float> a = {0.0f, 3.0f};
+  const std::vector<float> b = {4.0f, 0.0f};
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+}
+
+/// Assignments must always point at the nearest centroid on convergence.
+class KMeansInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansInvariantTest, AssignmentsAreNearestCentroid) {
+  Rng rng(GetParam());
+  const Tensor points = make_blobs(3, 20, rng);
+  KMeansConfig config;
+  config.clusters = 3;
+  const auto result = kmeans(points, config, rng);
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    EXPECT_EQ(result.assignments[i],
+              nearest_centroid(result.centroids, points.row(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansInvariantTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace anole::cluster

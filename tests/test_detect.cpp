@@ -1,0 +1,220 @@
+#include "detect/detector_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "world/world.hpp"
+
+namespace anole::detect {
+namespace {
+
+TEST(Iou, IdenticalBoxesGiveOne) {
+  EXPECT_NEAR(iou(0.5, 0.5, 0.2, 0.2, 0.5, 0.5, 0.2, 0.2), 1.0, 1e-9);
+}
+
+TEST(Iou, DisjointBoxesGiveZero) {
+  EXPECT_DOUBLE_EQ(iou(0.2, 0.2, 0.1, 0.1, 0.8, 0.8, 0.1, 0.1), 0.0);
+}
+
+TEST(Iou, HalfOverlap) {
+  // Two unit-width boxes offset by half a width: intersection 0.5, union 1.5.
+  EXPECT_NEAR(iou(0.0, 0.0, 1.0, 1.0, 0.5, 0.0, 1.0, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Iou, ZeroAreaIsZero) {
+  EXPECT_DOUBLE_EQ(iou(0.5, 0.5, 0.0, 0.0, 0.5, 0.5, 0.0, 0.0), 0.0);
+}
+
+TEST(Nms, SuppressesOverlaps) {
+  std::vector<Detection> dets = {
+      {0.5, 0.5, 0.2, 0.2, 0.9},
+      {0.51, 0.5, 0.2, 0.2, 0.8},  // heavy overlap with first
+      {0.1, 0.1, 0.1, 0.1, 0.7},
+  };
+  const auto kept = non_maximum_suppression(dets, 0.3);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[0].confidence, 0.9);
+  EXPECT_DOUBLE_EQ(kept[1].confidence, 0.7);
+}
+
+TEST(Nms, CenterDistanceSuppression) {
+  std::vector<Detection> dets = {
+      {0.50, 0.50, 0.05, 0.30, 0.9},
+      {0.50, 0.56, 0.30, 0.05, 0.8},  // low IoU but nearly same center
+  };
+  EXPECT_EQ(non_maximum_suppression(dets, 0.3, 0.0).size(), 2u);
+  EXPECT_EQ(non_maximum_suppression(dets, 0.3, 0.10).size(), 1u);
+}
+
+TEST(Nms, KeepsConfidenceOrder) {
+  std::vector<Detection> dets = {
+      {0.1, 0.1, 0.05, 0.05, 0.2},
+      {0.9, 0.9, 0.05, 0.05, 0.95},
+  };
+  const auto kept = non_maximum_suppression(dets, 0.3);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_DOUBLE_EQ(kept[0].confidence, 0.95);
+}
+
+TEST(MatchCounts, PrecisionRecallF1) {
+  MatchCounts counts;
+  counts.true_positives = 6;
+  counts.false_positives = 2;
+  counts.false_negatives = 4;
+  EXPECT_DOUBLE_EQ(counts.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(counts.recall(), 0.6);
+  EXPECT_NEAR(counts.f1(), 2 * 0.75 * 0.6 / 1.35, 1e-12);
+}
+
+TEST(MatchCounts, EmptyIsZero) {
+  MatchCounts counts;
+  EXPECT_DOUBLE_EQ(counts.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.f1(), 0.0);
+}
+
+TEST(MatchCounts, Accumulate) {
+  MatchCounts a;
+  a.true_positives = 1;
+  MatchCounts b;
+  b.false_negatives = 2;
+  a += b;
+  EXPECT_EQ(a.true_positives, 1u);
+  EXPECT_EQ(a.false_negatives, 2u);
+}
+
+TEST(Matching, PerfectDetection) {
+  const std::vector<world::ObjectInstance> truth = {{0.5, 0.5, 0.2, 0.2, 1.0}};
+  const std::vector<Detection> dets = {{0.5, 0.5, 0.2, 0.2, 0.9}};
+  const auto counts = match_detections(dets, truth, 0.5);
+  EXPECT_EQ(counts.true_positives, 1u);
+  EXPECT_EQ(counts.false_positives, 0u);
+  EXPECT_EQ(counts.false_negatives, 0u);
+}
+
+TEST(Matching, GreedyPrefersConfident) {
+  const std::vector<world::ObjectInstance> truth = {{0.5, 0.5, 0.2, 0.2, 1.0}};
+  // Both detections overlap the single truth; only one may match.
+  const std::vector<Detection> dets = {{0.5, 0.5, 0.2, 0.2, 0.6},
+                                       {0.52, 0.5, 0.2, 0.2, 0.9}};
+  const auto counts = match_detections(dets, truth, 0.3);
+  EXPECT_EQ(counts.true_positives, 1u);
+  EXPECT_EQ(counts.false_positives, 1u);
+}
+
+TEST(Matching, MissedObjectsAreFalseNegatives) {
+  const std::vector<world::ObjectInstance> truth = {
+      {0.2, 0.2, 0.1, 0.1, 1.0}, {0.8, 0.8, 0.1, 0.1, 1.0}};
+  const auto counts = match_detections({}, truth);
+  EXPECT_EQ(counts.false_negatives, 2u);
+}
+
+TEST(GridDetector, PresetCapacityOrdering) {
+  Rng rng(1);
+  GridDetector tiny(GridDetectorConfig::compressed(), rng);
+  GridDetector deep(GridDetectorConfig::large(), rng);
+  EXPECT_GT(deep.flops_per_frame(), 8 * tiny.flops_per_frame());
+  EXPECT_LT(deep.flops_per_frame(), 30 * tiny.flops_per_frame());
+  EXPECT_GT(deep.weight_bytes(), tiny.weight_bytes());
+}
+
+TEST(GridDetector, BuildInputsShape) {
+  Rng rng(2);
+  world::FrameGenerator generator;
+  const world::SceneAttributes attrs{world::Weather::kClear,
+                                     world::Location::kUrban,
+                                     world::TimeOfDay::kDaytime};
+  const auto style = world::SceneStyle::from_attributes(attrs);
+  const auto frame = generator.render(style, attrs, {}, rng);
+  const Tensor inputs = GridDetector::build_inputs(frame);
+  EXPECT_EQ(inputs.rows(), frame.cell_count());
+  EXPECT_EQ(inputs.cols(), GridDetector::input_features());
+}
+
+TEST(GridDetector, TargetsMarkCenterCell) {
+  Rng rng(3);
+  world::FrameGenerator generator(10);
+  const world::SceneAttributes attrs{world::Weather::kClear,
+                                     world::Location::kUrban,
+                                     world::TimeOfDay::kDaytime};
+  const auto style = world::SceneStyle::from_attributes(attrs);
+  world::ObjectInstance obj;
+  obj.cx = 0.55;
+  obj.cy = 0.35;
+  obj.w = 0.1;
+  obj.h = 0.12;
+  const auto frame = generator.render(style, attrs, {obj}, rng);
+  const auto targets = GridDetector::build_targets(frame);
+  // Center cell (x=5, y=3) on a 10-grid.
+  const std::size_t cell = 3 * 10 + 5;
+  EXPECT_EQ(targets.objectness.at(cell, 0), 1.0f);
+  EXPECT_NEAR(targets.boxes.at(cell, 0), 0.5f, 1e-5f);  // dx within cell
+  EXPECT_NEAR(targets.boxes.at(cell, 2), 0.1f, 1e-5f);  // width
+  EXPECT_EQ(targets.box_mask.at(cell, 3), 1.0f);
+  // All other cells negative.
+  float total = targets.objectness.sum();
+  EXPECT_EQ(total, 1.0f);
+}
+
+TEST(GridDetector, ConfidenceThresholdControlsOutput) {
+  Rng rng(4);
+  GridDetectorConfig config = GridDetectorConfig::compressed();
+  config.confidence_threshold = 1.1;  // impossible
+  GridDetector detector(config, rng);
+  world::FrameGenerator generator;
+  const world::SceneAttributes attrs{world::Weather::kClear,
+                                     world::Location::kUrban,
+                                     world::TimeOfDay::kDaytime};
+  const auto frame =
+      generator.render(world::SceneStyle::from_attributes(attrs), attrs, {},
+                       rng);
+  EXPECT_TRUE(detector.detect(frame).empty());
+}
+
+TEST(DetectorTrainConfig, EffectiveEpochsScaling) {
+  DetectorTrainConfig config;
+  config.epochs = 10;
+  config.reference_frames = 0;
+  EXPECT_EQ(config.effective_epochs(50), 10u);
+  config.reference_frames = 1000;
+  EXPECT_EQ(config.effective_epochs(1000), 10u);
+  EXPECT_EQ(config.effective_epochs(500), 20u);
+  EXPECT_EQ(config.effective_epochs(10), 60u);  // capped at 6x
+  EXPECT_EQ(config.effective_epochs(0), 10u);
+}
+
+TEST(DetectorTraining, LearnsASingleScene) {
+  Rng rng(5);
+  world::ClipGenerator generator;
+  world::ClipSpec spec;
+  spec.attributes = {world::Weather::kClear, world::Location::kUrban,
+                     world::TimeOfDay::kDaytime};
+  spec.length = 120;
+  const auto clip = generator.generate(spec, rng);
+  std::vector<const world::Frame*> train;
+  std::vector<const world::Frame*> test;
+  for (std::size_t i = 0; i < 100; ++i) train.push_back(&clip.frames[i]);
+  for (std::size_t i = 100; i < 120; ++i) test.push_back(&clip.frames[i]);
+
+  GridDetector detector(GridDetectorConfig::compressed(), rng);
+  const double before = evaluate_f1(detector, test);
+  DetectorTrainConfig config;
+  config.epochs = 16;
+  const auto result = train_detector(detector, train, config, rng);
+  const double after = evaluate_f1(detector, test);
+  EXPECT_EQ(result.frames_seen, 100u);
+  EXPECT_LT(result.epoch_losses.back(), result.epoch_losses.front());
+  EXPECT_GT(after, before);
+  EXPECT_GT(after, 0.35);
+}
+
+TEST(DetectorTraining, EmptyFrameListIsNoop) {
+  Rng rng(6);
+  GridDetector detector(GridDetectorConfig::compressed(), rng);
+  DetectorTrainConfig config;
+  const auto result = train_detector(detector, {}, config, rng);
+  EXPECT_EQ(result.frames_seen, 0u);
+  EXPECT_TRUE(result.epoch_losses.empty());
+}
+
+}  // namespace
+}  // namespace anole::detect

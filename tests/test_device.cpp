@@ -1,0 +1,183 @@
+#include "device/session.hpp"
+
+#include <gtest/gtest.h>
+
+namespace anole::device {
+namespace {
+
+constexpr std::uint64_t kTinyFlops = 100000;   // one tiny unit
+constexpr std::uint64_t kDeepFlops = 1180000;  // the paper's 11.8x spread
+
+TEST(DeviceProfile, LatencyIsAffineInFlops) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  const double l1 = tx2.inference_latency_ms(kTinyFlops);
+  const double l2 = tx2.inference_latency_ms(2 * kTinyFlops);
+  const double l3 = tx2.inference_latency_ms(3 * kTinyFlops);
+  EXPECT_NEAR(l3 - l2, l2 - l1, 1e-9);
+  EXPECT_GT(l1, tx2.inference_overhead_ms);
+}
+
+TEST(DeviceProfile, TableIvLatencyShape) {
+  // Tiny and deep latencies must reproduce Table IV's ordering and rough
+  // magnitudes per device.
+  const auto nano = DeviceProfile::jetson_nano(kTinyFlops);
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  const auto laptop = DeviceProfile::laptop(kTinyFlops);
+  const double nano_tiny = nano.inference_latency_ms(kTinyFlops);
+  const double tx2_tiny = tx2.inference_latency_ms(kTinyFlops);
+  const double laptop_tiny = laptop.inference_latency_ms(kTinyFlops);
+  EXPECT_NEAR(nano_tiny, 37.8, 2.0);
+  EXPECT_NEAR(tx2_tiny, 10.8, 1.0);
+  EXPECT_NEAR(laptop_tiny, 32.2, 2.0);
+  const double nano_deep = nano.inference_latency_ms(kDeepFlops);
+  const double tx2_deep = tx2.inference_latency_ms(kDeepFlops);
+  const double laptop_deep = laptop.inference_latency_ms(kDeepFlops);
+  EXPECT_NEAR(nano_deep, 313.8, 16.0);
+  EXPECT_NEAR(tx2_deep, 42.9, 3.0);
+  EXPECT_NEAR(laptop_deep, 62.2, 4.0);
+  // TX2 NX with TensorRT is the fastest device in the paper.
+  EXPECT_LT(tx2_tiny, laptop_tiny);
+  EXPECT_LT(tx2_tiny, nano_tiny);
+}
+
+TEST(DeviceProfile, ThroughputScaleSlowsCompute) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  EXPECT_GT(tx2.inference_latency_ms(kTinyFlops, 0.5),
+            tx2.inference_latency_ms(kTinyFlops, 1.0));
+  EXPECT_THROW((void)tx2.inference_latency_ms(kTinyFlops, 0.0),
+               std::invalid_argument);
+}
+
+TEST(DeviceProfile, FirstLoadPaysFrameworkInit) {
+  const auto nano = DeviceProfile::jetson_nano(kTinyFlops);
+  const double first = nano.load_latency_ms(40.0, true);
+  const double later = nano.load_latency_ms(40.0, false);
+  EXPECT_GT(first, later + 1000.0);
+  EXPECT_NEAR(first - later, nano.framework_init_ms, 1e-9);
+}
+
+TEST(DeviceProfile, PowerCappedAtBudget) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  ASSERT_FALSE(tx2.power_modes.empty());
+  const auto& mode = tx2.power_modes.back();
+  // Absurd load: power must clamp to the mode budget.
+  EXPECT_DOUBLE_EQ(tx2.power_watts(kDeepFlops * 100, 1000.0, mode),
+                   mode.budget_watts);
+  // Light load: above idle, below budget.
+  const double light = tx2.power_watts(kTinyFlops, 10.0, mode);
+  EXPECT_GT(light, tx2.idle_watts);
+  EXPECT_LT(light, mode.budget_watts);
+}
+
+TEST(DeviceProfile, DeepModelDrawsMorePower) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  const auto& mode = tx2.power_modes.back();
+  EXPECT_GT(tx2.power_watts(kDeepFlops, 20.0, mode),
+            tx2.power_watts(kTinyFlops, 20.0, mode));
+}
+
+TEST(DeviceProfile, MaxFpsInverseOfLatency) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  const auto& mode = tx2.power_modes.back();
+  const double fps = tx2.max_fps(kTinyFlops, mode);
+  EXPECT_NEAR(fps, 1000.0 / tx2.inference_latency_ms(kTinyFlops), 1e-6);
+  // The paper reports > 30 FPS for Anole's compressed models on TX2 NX.
+  EXPECT_GT(fps, 30.0);
+}
+
+TEST(DeviceProfile, AllDevicesPresent) {
+  const auto devices = DeviceProfile::all_devices(kTinyFlops);
+  ASSERT_EQ(devices.size(), 3u);
+  EXPECT_EQ(devices[0].name, "Jetson Nano");
+  EXPECT_EQ(devices[1].name, "Jetson TX2 NX");
+  EXPECT_EQ(devices[2].name, "Laptop");
+}
+
+TEST(MemoryModel, TinyModelMapsToFortyMb) {
+  MemoryModel memory(3500);
+  EXPECT_NEAR(memory.load_mb(3500), 40.0, 1e-9);
+  EXPECT_NEAR(memory.load_mb(7000), 80.0, 1e-9);
+}
+
+TEST(MemoryModel, ExecutionCostsMatchTableIvShape) {
+  MemoryModel memory(3500);
+  // Tiny detector: ~1120 MB execution in Table IV.
+  EXPECT_NEAR(memory.execution_mb(3500, true), 1000.0 + 2.9 * 40.0, 1.0);
+  // Classifier stack is much lighter (~584 MB).
+  EXPECT_LT(memory.execution_mb(3500, false),
+            memory.execution_mb(3500, true));
+}
+
+TEST(MemoryModel, RejectsZeroReference) {
+  EXPECT_THROW(MemoryModel(0), std::invalid_argument);
+}
+
+TEST(DeviceSession, AccumulatesLatencies) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  DeviceSession session(tx2);
+  FrameCost cost;
+  cost.detector_flops = kTinyFlops;
+  const double l1 = session.process(cost);
+  const double l2 = session.process(cost);
+  EXPECT_DOUBLE_EQ(l1, l2);
+  EXPECT_EQ(session.frames(), 2u);
+  EXPECT_NEAR(session.total_ms(), l1 + l2, 1e-9);
+  EXPECT_NEAR(session.mean_latency_ms(), l1, 1e-9);
+  EXPECT_NEAR(session.fps(), 1000.0 / l1, 1e-6);
+}
+
+TEST(DeviceSession, FirstFrameLoadSpike) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  DeviceSession session(tx2);
+  FrameCost first;
+  first.detector_flops = kTinyFlops;
+  first.loaded_weight_mb = 40.0;
+  FrameCost later;
+  later.detector_flops = kTinyFlops;
+  const double spike = session.process(first);
+  const double steady = session.process(later);
+  // The Fig. 4(a) shape: first frame dominated by load + framework init.
+  EXPECT_GT(spike, 10.0 * steady);
+  // A later load has no framework init.
+  FrameCost reload = first;
+  const double second_load = session.process(reload);
+  EXPECT_LT(second_load, spike - tx2.framework_init_ms + 1.0);
+  EXPECT_GT(second_load, steady);
+}
+
+TEST(DeviceSession, DecisionFlopsAddLatency) {
+  const auto nano = DeviceProfile::jetson_nano(kTinyFlops);
+  DeviceSession plain(nano);
+  DeviceSession routed(nano);
+  FrameCost detector_only;
+  detector_only.detector_flops = kTinyFlops;
+  FrameCost with_decision = detector_only;
+  with_decision.decision_flops = kTinyFlops / 10;
+  EXPECT_GT(routed.process(with_decision), plain.process(detector_only));
+}
+
+TEST(DeviceSession, EmptySessionStats) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  const DeviceSession session(tx2);
+  EXPECT_EQ(session.frames(), 0u);
+  EXPECT_DOUBLE_EQ(session.mean_latency_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(session.fps(), 0.0);
+}
+
+/// Power-mode sweep: higher budgets give higher throughput (Fig. 11).
+class PowerModeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PowerModeTest, ThroughputIncreasesWithBudget) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  const std::size_t index = GetParam();
+  ASSERT_LT(index, tx2.power_modes.size());
+  if (index == 0) return;
+  EXPECT_GT(tx2.max_fps(kTinyFlops, tx2.power_modes[index]),
+            tx2.max_fps(kTinyFlops, tx2.power_modes[index - 1]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, PowerModeTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+}  // namespace
+}  // namespace anole::device

@@ -1,0 +1,156 @@
+#include "eval/confusion.hpp"
+#include "eval/f1_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/table.hpp"
+#include "world/frame_generator.hpp"
+
+namespace anole::eval {
+namespace {
+
+TEST(ConfusionMatrix, RejectsZeroClasses) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, AddAndCount) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(2, 2);
+  EXPECT_EQ(cm.count(0, 0), 1u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.total(), 3u);
+  EXPECT_THROW(cm.add(3, 0), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, Accuracy) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  cm.add(1, 1);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, NormalizedRows) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(0, 1);
+  EXPECT_NEAR(cm.normalized(0, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.normalized(0, 1), 2.0 / 3.0, 1e-12);
+  // Empty row normalizes to zero.
+  EXPECT_DOUBLE_EQ(cm.normalized(1, 0), 0.0);
+}
+
+TEST(ConfusionMatrix, BalancedAccuracyIgnoresEmptyRows) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  cm.add(1, 1);
+  // Class 0 recall 1.0, class 1 recall 0.5, class 2 empty.
+  EXPECT_DOUBLE_EQ(cm.balanced_accuracy(), 0.75);
+  const auto recalls = cm.per_class_recall();
+  EXPECT_DOUBLE_EQ(recalls[0], 1.0);
+  EXPECT_DOUBLE_EQ(recalls[1], 0.5);
+}
+
+TEST(ConfusionMatrix, TableRendering) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  const std::string table = cm.to_table({"day", "night"});
+  EXPECT_NE(table.find("day"), std::string::npos);
+  EXPECT_NE(table.find("1.00"), std::string::npos);
+}
+
+world::Frame frame_with_object(Rng& rng) {
+  world::FrameGenerator generator;
+  const world::SceneAttributes attrs{world::Weather::kClear,
+                                     world::Location::kUrban,
+                                     world::TimeOfDay::kDaytime};
+  const auto style = world::SceneStyle::from_attributes(attrs);
+  world::ObjectInstance obj;
+  obj.cx = 0.5;
+  obj.cy = 0.5;
+  obj.w = 0.2;
+  obj.h = 0.2;
+  return generator.render(style, attrs, {obj}, rng);
+}
+
+TEST(F1Series, PerfectOracleGetsOne) {
+  Rng rng(3);
+  std::vector<world::Frame> frames;
+  for (int i = 0; i < 25; ++i) frames.push_back(frame_with_object(rng));
+  std::vector<const world::Frame*> ptrs;
+  for (const auto& f : frames) ptrs.push_back(&f);
+  // An oracle that returns the ground truth as detections.
+  const InferFn oracle = [](const world::Frame& frame) {
+    std::vector<detect::Detection> dets;
+    for (const auto& obj : frame.objects) {
+      dets.push_back({obj.cx, obj.cy, obj.w, obj.h, 1.0});
+    }
+    return dets;
+  };
+  const auto series = windowed_f1(oracle, ptrs, 10);
+  // 25 frames at window 10 -> windows of 10, 10, 5.
+  ASSERT_EQ(series.size(), 3u);
+  for (double f1 : series) EXPECT_DOUBLE_EQ(f1, 1.0);
+  EXPECT_DOUBLE_EQ(overall_f1(oracle, ptrs), 1.0);
+}
+
+TEST(F1Series, BlindDetectorGetsZero) {
+  Rng rng(4);
+  std::vector<world::Frame> frames;
+  for (int i = 0; i < 10; ++i) frames.push_back(frame_with_object(rng));
+  std::vector<const world::Frame*> ptrs;
+  for (const auto& f : frames) ptrs.push_back(&f);
+  const InferFn blind = [](const world::Frame&) {
+    return std::vector<detect::Detection>{};
+  };
+  EXPECT_DOUBLE_EQ(overall_f1(blind, ptrs), 0.0);
+}
+
+TEST(F1Series, ZeroWindowTreatedAsOne) {
+  Rng rng(5);
+  std::vector<world::Frame> frames = {frame_with_object(rng)};
+  std::vector<const world::Frame*> ptrs = {&frames[0]};
+  const InferFn blind = [](const world::Frame&) {
+    return std::vector<detect::Detection>{};
+  };
+  EXPECT_EQ(windowed_f1(blind, ptrs, 0).size(), 1u);
+}
+
+TEST(F1Series, EmptyFramesEmptySeries) {
+  const InferFn blind = [](const world::Frame&) {
+    return std::vector<detect::Detection>{};
+  };
+  EXPECT_TRUE(windowed_f1(blind, {}, 10).empty());
+  EXPECT_DOUBLE_EQ(overall_f1(blind, {}), 0.0);
+}
+
+TEST(TablePrinter, AlignsAndRenders) {
+  TablePrinter table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row_numeric("beta", {2.5, 3.0}, 1);
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TablePrinter, CsvQuotesSpecials) {
+  TablePrinter table({"a", "b"});
+  table.add_row({"x,y", "he said \"hi\""});
+  const std::string csv = table.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Formatting, PercentAndDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_percent(0.451), "45.1%");
+}
+
+}  // namespace
+}  // namespace anole::eval

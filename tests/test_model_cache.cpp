@@ -1,0 +1,193 @@
+#include "core/model_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace anole::core {
+namespace {
+
+CacheConfig make_config(std::size_t capacity, EvictionPolicy policy) {
+  CacheConfig config;
+  config.capacity = capacity;
+  config.policy = policy;
+  return config;
+}
+
+TEST(ModelCache, RejectsZeroCapacity) {
+  EXPECT_THROW(ModelCache(3, make_config(0, EvictionPolicy::kLfu)),
+               std::invalid_argument);
+}
+
+TEST(ModelCache, RejectsEmptyRanking) {
+  ModelCache cache(3, make_config(2, EvictionPolicy::kLfu));
+  EXPECT_THROW((void)cache.admit({}), std::invalid_argument);
+}
+
+TEST(ModelCache, ColdStartLoadsTopOne) {
+  ModelCache cache(3, make_config(2, EvictionPolicy::kLfu));
+  const std::vector<std::size_t> ranking = {1, 0, 2};
+  const auto admission = cache.admit(ranking);
+  EXPECT_FALSE(admission.hit);
+  EXPECT_EQ(admission.served_model, 1u);
+  EXPECT_EQ(admission.loaded, 1u);
+  EXPECT_FALSE(admission.evicted.has_value());
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ModelCache, HitOnResidentTopOne) {
+  ModelCache cache(3, make_config(2, EvictionPolicy::kLfu));
+  const std::vector<std::size_t> ranking = {1, 0, 2};
+  (void)cache.admit(ranking);
+  const auto second = cache.admit(ranking);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(second.served_model, 1u);
+  EXPECT_FALSE(second.loaded.has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.lookups(), 2u);
+  EXPECT_DOUBLE_EQ(cache.miss_rate(), 0.5);
+}
+
+TEST(ModelCache, MissServesBestRankedResident) {
+  ModelCache cache(4, make_config(2, EvictionPolicy::kLfu));
+  (void)cache.admit({0, 1, 2, 3});
+  (void)cache.admit({1, 0, 2, 3});
+  // Cache now holds {0, 1}. Top-1 = 3 is absent; best resident in ranking
+  // order {3, 1, 0, 2} is 1.
+  const auto admission = cache.admit({3, 1, 0, 2});
+  EXPECT_FALSE(admission.hit);
+  EXPECT_EQ(admission.served_model, 1u);
+  EXPECT_EQ(admission.loaded, 3u);
+  // Capacity 2: loading 3 evicts the LFU entry. Model 0 served two frames
+  // (frequency 2) while 1 served one (frequency 1), so 1 is evicted right
+  // after serving.
+  EXPECT_TRUE(admission.evicted.has_value());
+  EXPECT_EQ(*admission.evicted, 1u);
+}
+
+TEST(ModelCache, LfuEvictsLeastFrequentlyUsed) {
+  ModelCache cache(3, make_config(2, EvictionPolicy::kLfu));
+  (void)cache.admit({0, 1, 2});
+  (void)cache.admit({0, 1, 2});
+  (void)cache.admit({0, 1, 2});  // model 0 used 3x
+  (void)cache.admit({1, 0, 2});  // load 1, used 1x
+  const auto admission = cache.admit({2, 0, 1});
+  EXPECT_EQ(*admission.evicted, 1u);  // 1 is least frequently used
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(ModelCache, LruEvictsLeastRecentlyUsed) {
+  ModelCache cache(3, make_config(2, EvictionPolicy::kLru));
+  (void)cache.admit({0, 1, 2});
+  (void)cache.admit({0, 1, 2});
+  (void)cache.admit({1, 0, 2});  // 1 loaded and most recent
+  (void)cache.admit({0, 1, 2});  // 0 most recent again
+  const auto admission = cache.admit({2, 0, 1});
+  EXPECT_EQ(*admission.evicted, 1u);
+}
+
+TEST(ModelCache, FifoEvictsOldestLoad) {
+  ModelCache cache(3, make_config(2, EvictionPolicy::kFifo));
+  (void)cache.admit({0, 1, 2});
+  (void)cache.admit({1, 0, 2});
+  // Keep using 0 so LFU/LRU would evict 1; FIFO must still evict 0.
+  (void)cache.admit({0, 1, 2});
+  (void)cache.admit({0, 1, 2});
+  const auto admission = cache.admit({2, 0, 1});
+  EXPECT_EQ(*admission.evicted, 0u);
+}
+
+TEST(ModelCache, PreloadDoesNotCountMisses) {
+  ModelCache cache(4, make_config(3, EvictionPolicy::kLfu));
+  const std::vector<std::size_t> models = {0, 1, 2};
+  cache.preload(models);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.lookups(), 0u);
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  const auto admission = cache.admit({2, 1, 0});
+  EXPECT_TRUE(admission.hit);
+}
+
+TEST(ModelCache, PreloadIsIdempotent) {
+  ModelCache cache(4, make_config(2, EvictionPolicy::kLfu));
+  const std::vector<std::size_t> models = {0, 0, 0};
+  cache.preload(models);
+  EXPECT_EQ(cache.resident_models().size(), 1u);
+}
+
+TEST(ModelCache, UseCountsTrackServedModel) {
+  ModelCache cache(3, make_config(2, EvictionPolicy::kLfu));
+  (void)cache.admit({0, 1, 2});
+  (void)cache.admit({0, 1, 2});
+  // Top-1 = 1 misses; the resident model 0 serves the frame while 1 loads.
+  (void)cache.admit({1, 0, 2});
+  const auto& counts = cache.use_counts();
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(ModelCache, CapacityOneAlwaysServesSomething) {
+  ModelCache cache(5, make_config(1, EvictionPolicy::kLfu));
+  for (std::size_t target = 0; target < 5; ++target) {
+    std::vector<std::size_t> ranking;
+    for (std::size_t m = 0; m < 5; ++m) ranking.push_back((target + m) % 5);
+    const auto admission = cache.admit(ranking);
+    EXPECT_LT(admission.served_model, 5u);
+    EXPECT_EQ(cache.resident_models().size(), 1u);
+  }
+}
+
+TEST(ModelCache, NeverExceedsCapacity) {
+  ModelCache cache(10, make_config(3, EvictionPolicy::kLfu));
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::size_t> ranking = random_permutation(10, rng);
+    (void)cache.admit(ranking);
+    EXPECT_LE(cache.resident_models().size(), 3u);
+  }
+}
+
+TEST(ModelCache, PolicyNames) {
+  EXPECT_STREQ(to_string(EvictionPolicy::kLfu), "LFU");
+  EXPECT_STREQ(to_string(EvictionPolicy::kLru), "LRU");
+  EXPECT_STREQ(to_string(EvictionPolicy::kFifo), "FIFO");
+}
+
+/// Skewed rankings: with a power-law top-1 distribution a small LFU cache
+/// must reach a low miss rate (the paper's Fig. 7b premise).
+class CacheMissRateTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CacheMissRateTest, SmallCacheHandlesPowerLawRankings) {
+  const std::size_t capacity = GetParam();
+  const std::size_t models = 19;
+  ModelCache cache(models, make_config(capacity, EvictionPolicy::kLfu));
+  Rng rng(11);
+  // Zipf-like top-1 choice.
+  std::vector<double> weights;
+  for (std::size_t m = 1; m <= models; ++m) weights.push_back(1.0 / (m * m));
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t top = rng.weighted_index(weights);
+    std::vector<std::size_t> ranking = {top};
+    for (std::size_t m = 0; m < models; ++m) {
+      if (m != top) ranking.push_back(m);
+    }
+    (void)cache.admit(ranking);
+  }
+  if (capacity >= 5) {
+    EXPECT_LT(cache.miss_rate(), 0.12) << "capacity=" << capacity;
+  }
+  if (capacity >= 2) EXPECT_LT(cache.miss_rate(), 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CacheMissRateTest,
+                         ::testing::Values(2, 3, 5, 8, 12));
+
+}  // namespace
+}  // namespace anole::core

@@ -1,0 +1,256 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/loss.hpp"
+#include "nn/sequential.hpp"
+
+namespace anole::nn {
+namespace {
+
+/// Scalar objective: 0.5 * sum(output^2). Its gradient wrt the output is
+/// the output itself, making finite-difference checks straightforward.
+float objective(Module& module, const Tensor& input) {
+  const Tensor out = module.forward(input);
+  float sum = 0.0f;
+  for (float v : out.data()) sum += 0.5f * v * v;
+  return sum;
+}
+
+/// Checks the analytic input gradient of `module` at `input` against
+/// central finite differences.
+void check_input_gradient(Module& module, Tensor input, float tol = 2e-2f) {
+  const Tensor out = module.forward(input);
+  module.zero_grad();
+  const Tensor grad_input = module.backward(out);  // dL/dout = out
+
+  const float epsilon = 1e-3f;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float saved = input[i];
+    input[i] = saved + epsilon;
+    const float up = objective(module, input);
+    input[i] = saved - epsilon;
+    const float down = objective(module, input);
+    input[i] = saved;
+    const float numeric = (up - down) / (2.0f * epsilon);
+    EXPECT_NEAR(grad_input[i], numeric, tol) << "input index " << i;
+  }
+}
+
+/// Checks analytic parameter gradients against finite differences.
+void check_parameter_gradients(Module& module, const Tensor& input,
+                               float tol = 2e-2f) {
+  const Tensor out = module.forward(input);
+  module.zero_grad();
+  (void)module.backward(out);
+  const float epsilon = 1e-3f;
+  for (Parameter* param : module.parameters()) {
+    for (std::size_t i = 0; i < param->value.size(); ++i) {
+      const float saved = param->value[i];
+      param->value[i] = saved + epsilon;
+      const float up = objective(module, input);
+      param->value[i] = saved - epsilon;
+      const float down = objective(module, input);
+      param->value[i] = saved;
+      const float numeric = (up - down) / (2.0f * epsilon);
+      EXPECT_NEAR(param->grad[i], numeric, tol) << "param index " << i;
+    }
+  }
+}
+
+Tensor random_input(std::size_t batch, std::size_t features, Rng& rng) {
+  Tensor t = Tensor::matrix(batch, features);
+  for (auto& v : t.data()) v = static_cast<float>(rng.normal());
+  return t;
+}
+
+TEST(Linear, ForwardShapeAndBias) {
+  Rng rng(1);
+  Linear layer(3, 2, rng);
+  layer.bias().value[0] = 1.0f;
+  layer.bias().value[1] = -1.0f;
+  const Tensor zero = Tensor::matrix(2, 3);
+  const Tensor out = layer.forward(zero);
+  EXPECT_EQ(out.rows(), 2u);
+  EXPECT_EQ(out.cols(), 2u);
+  EXPECT_EQ(out.at(0, 0), 1.0f);
+  EXPECT_EQ(out.at(1, 1), -1.0f);
+}
+
+TEST(Linear, RejectsWrongInputWidth) {
+  Rng rng(1);
+  Linear layer(3, 2, rng);
+  EXPECT_THROW((void)layer.forward(Tensor::matrix(1, 4)),
+               std::invalid_argument);
+}
+
+TEST(Linear, GradientsMatchFiniteDifferences) {
+  Rng rng(2);
+  Linear layer(4, 3, rng);
+  check_input_gradient(layer, random_input(2, 4, rng));
+  check_parameter_gradients(layer, random_input(2, 4, rng));
+}
+
+TEST(Linear, FlopsAndParameterCount) {
+  Rng rng(3);
+  Linear layer(10, 5, rng);
+  EXPECT_EQ(layer.parameter_count(), 55u);
+  EXPECT_EQ(layer.flops_per_sample(), 2u * 10 * 5 + 5);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU relu;
+  const Tensor in(Shape{1, 4}, std::vector<float>{-1, 0, 2, -3});
+  const Tensor out = relu.forward(in);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_EQ(out[1], 0.0f);
+  EXPECT_EQ(out[2], 2.0f);
+  EXPECT_EQ(out[3], 0.0f);
+}
+
+TEST(ReLU, BackwardMasksNegatives) {
+  ReLU relu;
+  const Tensor in(Shape{1, 3}, std::vector<float>{-1, 1, 2});
+  (void)relu.forward(in);
+  const Tensor grad(Shape{1, 3}, std::vector<float>{5, 5, 5});
+  const Tensor gin = relu.backward(grad);
+  EXPECT_EQ(gin[0], 0.0f);
+  EXPECT_EQ(gin[1], 5.0f);
+  EXPECT_EQ(gin[2], 5.0f);
+}
+
+TEST(LeakyReLU, NegativeSlope) {
+  LeakyReLU leaky(0.1f);
+  const Tensor in(Shape{1, 2}, std::vector<float>{-10, 10});
+  const Tensor out = leaky.forward(in);
+  EXPECT_FLOAT_EQ(out[0], -1.0f);
+  EXPECT_FLOAT_EQ(out[1], 10.0f);
+  Rng rng(4);
+  check_input_gradient(leaky, random_input(2, 3, rng));
+}
+
+TEST(Sigmoid, ValuesAndGradient) {
+  Sigmoid sigmoid;
+  const Tensor in(Shape{1, 1}, std::vector<float>{0.0f});
+  EXPECT_FLOAT_EQ(sigmoid.forward(in)[0], 0.5f);
+  Rng rng(5);
+  check_input_gradient(sigmoid, random_input(2, 3, rng));
+}
+
+TEST(Tanh, ValuesAndGradient) {
+  Tanh tanh_layer;
+  const Tensor in(Shape{1, 1}, std::vector<float>{0.0f});
+  EXPECT_FLOAT_EQ(tanh_layer.forward(in)[0], 0.0f);
+  Rng rng(6);
+  check_input_gradient(tanh_layer, random_input(2, 3, rng));
+}
+
+TEST(Dropout, InferenceIsIdentity) {
+  Dropout dropout(0.5f, 42);
+  dropout.set_training(false);
+  Rng rng(7);
+  const Tensor in = random_input(3, 5, rng);
+  EXPECT_TRUE(allclose(dropout.forward(in), in));
+}
+
+TEST(Dropout, TrainingZeroesAndRescales) {
+  Dropout dropout(0.5f, 42);
+  dropout.set_training(true);
+  const Tensor in = Tensor::matrix(10, 100, 1.0f);
+  const Tensor out = dropout.forward(in);
+  std::size_t zeros = 0;
+  for (float v : out.data()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0f);  // inverted dropout scale 1/(1-0.5)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / out.size(), 0.5, 0.05);
+}
+
+TEST(Dropout, RejectsInvalidRate) {
+  EXPECT_THROW(Dropout(1.0f, 1), std::invalid_argument);
+  EXPECT_THROW(Dropout(-0.1f, 1), std::invalid_argument);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  LayerNorm norm(4);
+  const Tensor in(Shape{1, 4}, std::vector<float>{1, 2, 3, 4});
+  const Tensor out = norm.forward(in);
+  float mean = 0.0f;
+  for (float v : out.data()) mean += v;
+  EXPECT_NEAR(mean / 4.0f, 0.0f, 1e-5f);
+  float var = 0.0f;
+  for (float v : out.data()) var += v * v;
+  EXPECT_NEAR(var / 4.0f, 1.0f, 1e-3f);
+}
+
+TEST(LayerNorm, GradientsMatchFiniteDifferences) {
+  LayerNorm norm(5);
+  Rng rng(8);
+  check_input_gradient(norm, random_input(2, 5, rng), 5e-2f);
+  check_parameter_gradients(norm, random_input(2, 5, rng), 5e-2f);
+}
+
+TEST(Sequential, ChainsLayers) {
+  Rng rng(9);
+  Sequential net;
+  net.emplace<Linear>(3, 4, rng);
+  net.emplace<ReLU>();
+  net.emplace<Linear>(4, 2, rng);
+  const Tensor out = net.forward(random_input(5, 3, rng));
+  EXPECT_EQ(out.rows(), 5u);
+  EXPECT_EQ(out.cols(), 2u);
+  EXPECT_EQ(net.size(), 3u);
+  EXPECT_EQ(net.parameters().size(), 4u);
+}
+
+TEST(Sequential, GradientsMatchFiniteDifferences) {
+  Rng rng(10);
+  Sequential net;
+  net.emplace<Linear>(3, 6, rng);
+  net.emplace<Tanh>();
+  net.emplace<Linear>(6, 2, rng);
+  check_input_gradient(net, random_input(2, 3, rng));
+  check_parameter_gradients(net, random_input(2, 3, rng));
+}
+
+TEST(Sequential, FlopsAccumulate) {
+  Rng rng(11);
+  Sequential net;
+  net.emplace<Linear>(4, 8, rng);
+  net.emplace<Linear>(8, 2, rng);
+  EXPECT_EQ(net.flops_per_sample(), (2u * 4 * 8 + 8) + (2u * 8 * 2 + 2));
+}
+
+TEST(Sequential, SetTrainingPropagates) {
+  Rng rng(12);
+  Sequential net;
+  net.emplace<Dropout>(0.5f, 1);
+  net.set_training(false);
+  const Tensor in = Tensor::matrix(2, 3, 1.0f);
+  EXPECT_TRUE(allclose(net.forward(in), in));
+}
+
+TEST(MakeMlp, BuildsExpectedArchitecture) {
+  Rng rng(13);
+  auto net = make_mlp({5, 8, 3}, rng);
+  // Linear, ReLU, Linear.
+  EXPECT_EQ(net->size(), 3u);
+  const Tensor out = net->forward(Tensor::matrix(1, 5));
+  EXPECT_EQ(out.cols(), 3u);
+  EXPECT_THROW((void)make_mlp({4}, rng), std::invalid_argument);
+}
+
+TEST(MakeMlp, DropoutVariant) {
+  Rng rng(14);
+  auto net = make_mlp({5, 8, 8, 3}, rng, 0.2f);
+  // Linear ReLU Dropout Linear ReLU Dropout Linear.
+  EXPECT_EQ(net->size(), 7u);
+}
+
+}  // namespace
+}  // namespace anole::nn

@@ -1,0 +1,182 @@
+#include "nn/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace anole::nn {
+namespace {
+
+TEST(Softmax, RowsSumToOne) {
+  const Tensor logits(Shape{2, 3}, std::vector<float>{1, 2, 3, -1, 0, 1});
+  const Tensor probs = softmax_rows(logits);
+  for (std::size_t r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (float v : probs.row(r)) {
+      EXPECT_GT(v, 0.0f);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  const Tensor logits(Shape{1, 2}, std::vector<float>{1000.0f, 998.0f});
+  const Tensor probs = softmax_rows(logits);
+  EXPECT_NEAR(probs[0], 1.0f / (1.0f + std::exp(-2.0f)), 1e-5f);
+  EXPECT_FALSE(std::isnan(probs[0]));
+}
+
+TEST(CrossEntropy, UniformLogitsGiveLogC) {
+  const Tensor logits = Tensor::matrix(4, 5);
+  const std::vector<std::size_t> labels = {0, 1, 2, 3};
+  Tensor grad;
+  const float loss = softmax_cross_entropy(logits, labels, grad);
+  EXPECT_NEAR(loss, std::log(5.0f), 1e-5f);
+}
+
+TEST(CrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(3);
+  Tensor logits = Tensor::matrix(3, 4);
+  for (auto& v : logits.data()) v = static_cast<float>(rng.normal());
+  const std::vector<std::size_t> labels = {1, 3, 0};
+  Tensor grad;
+  (void)softmax_cross_entropy(logits, labels, grad);
+  const float epsilon = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor up = logits;
+    up[i] += epsilon;
+    Tensor down = logits;
+    down[i] -= epsilon;
+    Tensor scratch;
+    const float numeric = (softmax_cross_entropy(up, labels, scratch) -
+                           softmax_cross_entropy(down, labels, scratch)) /
+                          (2.0f * epsilon);
+    EXPECT_NEAR(grad[i], numeric, 1e-3f);
+  }
+}
+
+TEST(CrossEntropy, RejectsBadLabels) {
+  const Tensor logits = Tensor::matrix(1, 3);
+  const std::vector<std::size_t> labels = {3};
+  Tensor grad;
+  EXPECT_THROW((void)softmax_cross_entropy(logits, labels, grad),
+               std::invalid_argument);
+}
+
+TEST(SoftCrossEntropy, MatchesHardLabelsOnOneHot) {
+  Rng rng(5);
+  Tensor logits = Tensor::matrix(2, 3);
+  for (auto& v : logits.data()) v = static_cast<float>(rng.normal());
+  const std::vector<std::size_t> labels = {2, 0};
+  Tensor one_hot = Tensor::matrix(2, 3);
+  one_hot.at(0, 2) = 1.0f;
+  one_hot.at(1, 0) = 1.0f;
+  Tensor grad_hard;
+  Tensor grad_soft;
+  const float hard = softmax_cross_entropy(logits, labels, grad_hard);
+  const float soft = softmax_cross_entropy_soft(logits, one_hot, grad_soft);
+  EXPECT_NEAR(hard, soft, 1e-5f);
+  EXPECT_TRUE(allclose(grad_hard, grad_soft, 1e-6f));
+}
+
+TEST(SoftCrossEntropy, GradientMatchesFiniteDifference) {
+  Rng rng(7);
+  Tensor logits = Tensor::matrix(2, 4);
+  for (auto& v : logits.data()) v = static_cast<float>(rng.normal());
+  Tensor targets(Shape{2, 4}, std::vector<float>{0.5f, 0.5f, 0.0f, 0.0f,
+                                                 0.1f, 0.2f, 0.3f, 0.4f});
+  Tensor grad;
+  (void)softmax_cross_entropy_soft(logits, targets, grad);
+  const float epsilon = 1e-3f;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    Tensor up = logits;
+    up[i] += epsilon;
+    Tensor down = logits;
+    down[i] -= epsilon;
+    Tensor scratch;
+    const float numeric =
+        (softmax_cross_entropy_soft(up, targets, scratch) -
+         softmax_cross_entropy_soft(down, targets, scratch)) /
+        (2.0f * epsilon);
+    EXPECT_NEAR(grad[i], numeric, 1e-3f);
+  }
+}
+
+TEST(BceWithLogits, KnownValue) {
+  const Tensor logits(Shape{1, 1}, std::vector<float>{0.0f});
+  const Tensor targets(Shape{1, 1}, std::vector<float>{1.0f});
+  Tensor grad;
+  const float loss = bce_with_logits(logits, targets, grad);
+  EXPECT_NEAR(loss, std::log(2.0f), 1e-5f);
+  EXPECT_NEAR(grad[0], -0.5f, 1e-5f);
+}
+
+TEST(BceWithLogits, StableForExtremeLogits) {
+  const Tensor logits(Shape{1, 2}, std::vector<float>{100.0f, -100.0f});
+  const Tensor targets(Shape{1, 2}, std::vector<float>{1.0f, 0.0f});
+  Tensor grad;
+  const float loss = bce_with_logits(logits, targets, grad);
+  EXPECT_NEAR(loss, 0.0f, 1e-5f);
+  EXPECT_FALSE(std::isnan(loss));
+}
+
+TEST(BceWithLogits, PositiveWeightScalesPositives) {
+  const Tensor logits(Shape{1, 2}, std::vector<float>{0.0f, 0.0f});
+  const Tensor targets(Shape{1, 2}, std::vector<float>{1.0f, 0.0f});
+  Tensor grad;
+  (void)bce_with_logits(logits, targets, grad, 4.0f);
+  EXPECT_NEAR(grad[0], 4.0f * (0.5f - 1.0f) / 2.0f, 1e-5f);
+  EXPECT_NEAR(grad[1], (0.5f - 0.0f) / 2.0f, 1e-5f);
+}
+
+TEST(MseLoss, KnownValueAndGradient) {
+  const Tensor pred(Shape{1, 2}, std::vector<float>{1.0f, 3.0f});
+  const Tensor target(Shape{1, 2}, std::vector<float>{0.0f, 1.0f});
+  Tensor grad;
+  const float loss = mse_loss(pred, target, grad);
+  EXPECT_NEAR(loss, (1.0f + 4.0f) / 2.0f, 1e-5f);
+  EXPECT_NEAR(grad[0], 2.0f * 1.0f / 2.0f, 1e-5f);
+  EXPECT_NEAR(grad[1], 2.0f * 2.0f / 2.0f, 1e-5f);
+}
+
+TEST(MseLoss, MaskGatesElements) {
+  const Tensor pred(Shape{1, 2}, std::vector<float>{5.0f, 3.0f});
+  const Tensor target = Tensor::matrix(1, 2);
+  Tensor mask = Tensor::matrix(1, 2);
+  mask.at(0, 1) = 1.0f;
+  Tensor grad;
+  const float loss = mse_loss(pred, target, grad, mask);
+  EXPECT_NEAR(loss, 9.0f, 1e-5f);  // only the masked element counts
+  EXPECT_EQ(grad[0], 0.0f);
+  EXPECT_NEAR(grad[1], 6.0f, 1e-5f);
+}
+
+TEST(MseLoss, AllZeroMaskGivesZero) {
+  const Tensor pred = Tensor::matrix(2, 2, 1.0f);
+  const Tensor target = Tensor::matrix(2, 2);
+  const Tensor mask = Tensor::matrix(2, 2);
+  Tensor grad;
+  EXPECT_EQ(mse_loss(pred, target, grad, mask), 0.0f);
+}
+
+TEST(Accuracy, CountsArgmaxMatches) {
+  Tensor logits = Tensor::matrix(3, 2);
+  logits.at(0, 1) = 1.0f;  // pred 1
+  logits.at(1, 0) = 1.0f;  // pred 0
+  logits.at(2, 1) = 1.0f;  // pred 1
+  const std::vector<std::size_t> labels = {1, 0, 0};
+  EXPECT_NEAR(accuracy(logits, labels), 2.0 / 3.0, 1e-9);
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  const Tensor m(Shape{2, 3}, std::vector<float>{1, 5, 2, 9, 0, 3});
+  const auto idx = argmax_rows(m);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 0u);
+}
+
+}  // namespace
+}  // namespace anole::nn

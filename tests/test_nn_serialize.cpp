@@ -1,0 +1,104 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "nn/sequential.hpp"
+
+namespace anole::nn {
+namespace {
+
+std::unique_ptr<Sequential> make_net(std::uint64_t seed) {
+  Rng rng(seed);
+  auto net = std::make_unique<Sequential>();
+  net->emplace<Linear>(4, 6, rng);
+  net->emplace<ReLU>();
+  net->emplace<Linear>(6, 2, rng);
+  return net;
+}
+
+TEST(Serialize, RoundTripRestoresWeights) {
+  auto source = make_net(1);
+  auto target = make_net(2);
+  // Different seeds -> different weights.
+  ASSERT_FALSE(allclose(source->parameters()[0]->value,
+                        target->parameters()[0]->value));
+
+  std::stringstream stream;
+  save_parameters(*source, stream);
+  load_parameters(*target, stream);
+
+  const auto src_params = source->parameters();
+  const auto dst_params = target->parameters();
+  ASSERT_EQ(src_params.size(), dst_params.size());
+  for (std::size_t i = 0; i < src_params.size(); ++i) {
+    EXPECT_TRUE(allclose(src_params[i]->value, dst_params[i]->value, 0.0f));
+  }
+}
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+  auto source = make_net(3);
+  auto target = make_net(4);
+  std::stringstream stream;
+  save_parameters(*source, stream);
+  load_parameters(*target, stream);
+  Rng rng(5);
+  Tensor input = Tensor::matrix(3, 4);
+  for (auto& v : input.data()) v = static_cast<float>(rng.normal());
+  EXPECT_TRUE(allclose(source->forward(input), target->forward(input)));
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  auto net = make_net(6);
+  std::stringstream stream("NOTMAGIC plus some junk data here");
+  EXPECT_THROW(load_parameters(*net, stream), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  auto net = make_net(7);
+  std::stringstream stream;
+  save_parameters(*net, stream);
+  std::string data = stream.str();
+  data.resize(data.size() / 2);
+  std::stringstream truncated(data);
+  EXPECT_THROW(load_parameters(*net, truncated), std::runtime_error);
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  auto source = make_net(8);
+  Rng rng(9);
+  Sequential different;
+  different.emplace<Linear>(4, 5, rng);  // different width
+  std::stringstream stream;
+  save_parameters(*source, stream);
+  EXPECT_THROW(load_parameters(different, stream), std::runtime_error);
+}
+
+TEST(Serialize, SizeMatchesStream) {
+  auto net = make_net(10);
+  std::stringstream stream;
+  save_parameters(*net, stream);
+  EXPECT_EQ(serialized_size_bytes(*net), stream.str().size());
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/anole_weights.bin";
+  auto source = make_net(11);
+  auto target = make_net(12);
+  save_parameters_to_file(*source, path);
+  load_parameters_from_file(*target, path);
+  EXPECT_TRUE(allclose(source->parameters()[0]->value,
+                       target->parameters()[0]->value, 0.0f));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  auto net = make_net(13);
+  EXPECT_THROW(load_parameters_from_file(*net, "/nonexistent/dir/w.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace anole::nn

@@ -1,0 +1,157 @@
+#include "sampling/thompson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace anole::sampling {
+namespace {
+
+TEST(RequiredSamples, MatchesClosedForm) {
+  // N = 100, theta = 0.9:
+  // log(1 - 0.9^(1/100)) / log(1 - 1/100).
+  const double n = 100.0;
+  const double expected =
+      std::log(1.0 - std::pow(0.9, 1.0 / n)) / std::log(1.0 - 1.0 / n);
+  EXPECT_NEAR(required_samples(100, 0.9), expected, 1e-9);
+}
+
+TEST(RequiredSamples, GrowsWithSetSize) {
+  EXPECT_LT(required_samples(10, 0.9), required_samples(100, 0.9));
+  EXPECT_LT(required_samples(100, 0.9), required_samples(1000, 0.9));
+}
+
+TEST(RequiredSamples, GrowsWithConfidence) {
+  EXPECT_LT(required_samples(100, 0.5), required_samples(100, 0.99));
+}
+
+TEST(RequiredSamples, TrivialSet) {
+  EXPECT_DOUBLE_EQ(required_samples(1, 0.9), 1.0);
+  EXPECT_DOUBLE_EQ(required_samples(0, 0.9), 1.0);
+}
+
+TEST(RequiredSamples, RejectsBadTheta) {
+  EXPECT_THROW((void)required_samples(10, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)required_samples(10, 1.0), std::invalid_argument);
+}
+
+TEST(AdaptiveSampler, RejectsEmpty) {
+  EXPECT_THROW(AdaptiveSceneSampler({}), std::invalid_argument);
+}
+
+TEST(AdaptiveSampler, RecordDrawBoundsChecked) {
+  AdaptiveSceneSampler sampler({10, 10});
+  EXPECT_THROW(sampler.record_draw(2), std::out_of_range);
+}
+
+TEST(AdaptiveSampler, DrawCountsTrackRecords) {
+  AdaptiveSceneSampler sampler({50, 50, 50});
+  sampler.record_draw(1);
+  sampler.record_draw(1);
+  sampler.record_draw(2);
+  const auto counts = sampler.draw_counts();
+  EXPECT_EQ(counts[0], 0.0);
+  EXPECT_EQ(counts[1], 2.0);
+  EXPECT_EQ(counts[2], 1.0);
+}
+
+TEST(AdaptiveSampler, WellSampledStopsArm) {
+  // Tiny set: required_samples(2, 0.5) is small.
+  AdaptiveSceneSampler sampler({2, 1000}, 0.5);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) sampler.record_draw(0);
+  EXPECT_TRUE(sampler.well_sampled(0));
+  EXPECT_FALSE(sampler.well_sampled(1));
+  // next_arm never returns a well-sampled arm.
+  for (int i = 0; i < 50; ++i) {
+    const auto arm = sampler.next_arm(rng);
+    ASSERT_TRUE(arm.has_value());
+    EXPECT_EQ(*arm, 1u);
+  }
+}
+
+TEST(AdaptiveSampler, AllWellSampledReturnsNullopt) {
+  AdaptiveSceneSampler sampler({2}, 0.5);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) sampler.record_draw(0);
+  EXPECT_TRUE(sampler.all_well_sampled());
+  EXPECT_FALSE(sampler.next_arm(rng).has_value());
+}
+
+TEST(AdaptiveSampler, BalancesSkewedArms) {
+  // Heavily skewed training-set sizes (as in the paper's Fig. 3 setting).
+  std::vector<std::size_t> sizes = {2000, 100, 100, 100, 100, 100,
+                                    100,  100, 100, 100, 100, 100,
+                                    100,  100, 100, 100};
+  AdaptiveSceneSampler adaptive(sizes, 0.9);
+  RandomSceneSampler random(sizes);
+  Rng rng(3);
+  const std::size_t budget = 1600;
+  for (std::size_t i = 0; i < budget; ++i) {
+    const auto arm = adaptive.next_arm(rng);
+    ASSERT_TRUE(arm.has_value());
+    adaptive.record_draw(*arm);
+    random.record_draw(random.next_arm(rng));
+  }
+  const double cv_adaptive = coefficient_of_variation(adaptive.draw_counts());
+  const double cv_random = coefficient_of_variation(random.draw_counts());
+  // Adaptive sampling must be far more balanced.
+  EXPECT_LT(cv_adaptive, 0.2);
+  EXPECT_GT(cv_random, 1.0);
+  EXPECT_LT(cv_adaptive, cv_random / 3.0);
+}
+
+TEST(AdaptiveSampler, EveryArmGetsSamples) {
+  std::vector<std::size_t> sizes(19, 500);
+  sizes[0] = 5000;
+  AdaptiveSceneSampler sampler(sizes, 0.9);
+  Rng rng(4);
+  for (int i = 0; i < 1200; ++i) {
+    const auto arm = sampler.next_arm(rng);
+    ASSERT_TRUE(arm.has_value());
+    sampler.record_draw(*arm);
+  }
+  for (double count : sampler.draw_counts()) EXPECT_GT(count, 20.0);
+}
+
+TEST(RandomSampler, FollowsSetSizes) {
+  RandomSceneSampler sampler({900, 100});
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) sampler.record_draw(sampler.next_arm(rng));
+  const auto counts = sampler.draw_counts();
+  EXPECT_NEAR(counts[0] / 5000.0, 0.9, 0.03);
+}
+
+TEST(RandomSampler, RejectsEmpty) {
+  EXPECT_THROW(RandomSceneSampler({}), std::invalid_argument);
+}
+
+/// Balance property across seeds and arm counts.
+class AdaptiveBalanceTest
+    : public ::testing::TestWithParam<std::pair<int, std::size_t>> {};
+
+TEST_P(AdaptiveBalanceTest, CoefficientOfVariationStaysLow) {
+  const auto [seed, arms] = GetParam();
+  std::vector<std::size_t> sizes(arms, 400);
+  sizes[0] = 4000;  // one dominant training set
+  AdaptiveSceneSampler sampler(sizes, 0.9);
+  Rng rng(static_cast<std::uint64_t>(seed));
+  for (std::size_t i = 0; i < arms * 60; ++i) {
+    const auto arm = sampler.next_arm(rng);
+    ASSERT_TRUE(arm.has_value());
+    sampler.record_draw(*arm);
+  }
+  EXPECT_LT(coefficient_of_variation(sampler.draw_counts()), 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdaptiveBalanceTest,
+    ::testing::Values(std::make_pair(1, std::size_t{8}),
+                      std::make_pair(2, std::size_t{16}),
+                      std::make_pair(3, std::size_t{19}),
+                      std::make_pair(4, std::size_t{32})));
+
+}  // namespace
+}  // namespace anole::sampling

@@ -1,0 +1,151 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace anole {
+namespace {
+
+TEST(Stats, MeanBasic) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Stats, MeanEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceUnbiased) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(variance(v), 4.571428, 1e-5);
+}
+
+TEST(Stats, VarianceOfConstantIsZero) {
+  const std::vector<double> v(10, 3.3);
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> v = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_value(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(v), 7.0);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> v = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 20.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Stats, BoxplotSummaryFields) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(static_cast<double>(i));
+  const auto box = boxplot_summary(v);
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.max, 101.0);
+  EXPECT_DOUBLE_EQ(box.median, 51.0);
+  EXPECT_DOUBLE_EQ(box.q1, 26.0);
+  EXPECT_DOUBLE_EQ(box.q3, 76.0);
+  EXPECT_DOUBLE_EQ(box.mean, 51.0);
+  EXPECT_EQ(box.count, 101u);
+}
+
+TEST(Stats, EmpiricalCdfMonotonic) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.normal());
+  const auto cdf = empirical_cdf(v, 32);
+  ASSERT_EQ(cdf.size(), 32u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LE(cdf[i - 1].cumulative_probability,
+              cdf[i].cumulative_probability);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative_probability, 1.0);
+}
+
+TEST(Stats, EmpiricalCdfSmallInput) {
+  const std::vector<double> v = {5.0};
+  const auto cdf = empirical_cdf(v, 10);
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(cdf[0].cumulative_probability, 1.0);
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  const std::vector<double> v = {-10.0, 0.1, 0.5, 0.9, 10.0};
+  const auto h = make_histogram(v, 0.0, 1.0, 4);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.counts[0], 2u);  // -10 clamped + 0.1
+  EXPECT_EQ(h.counts[3], 2u);  // 0.9 + 10 clamped
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.4);
+}
+
+TEST(Stats, CorrelationPerfect) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(correlation(x, y), 1.0, 1e-12);
+  std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(correlation(x, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, CorrelationUndefinedIsZero) {
+  const std::vector<double> x = {1.0, 1.0, 1.0};
+  const std::vector<double> y = {2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(correlation(x, y), 0.0);
+}
+
+TEST(Stats, NormalizeSumsToOne) {
+  const std::vector<double> v = {1.0, 3.0};
+  const auto n = normalize(v);
+  EXPECT_DOUBLE_EQ(n[0], 0.25);
+  EXPECT_DOUBLE_EQ(n[1], 0.75);
+}
+
+TEST(Stats, NormalizeZeroSum) {
+  const std::vector<double> v = {0.0, 0.0};
+  const auto n = normalize(v);
+  EXPECT_DOUBLE_EQ(n[0], 0.0);
+  EXPECT_DOUBLE_EQ(n[1], 0.0);
+}
+
+TEST(Stats, CoefficientOfVariation) {
+  const std::vector<double> balanced(8, 5.0);
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(balanced), 0.0);
+  const std::vector<double> skewed = {1.0, 9.0};
+  EXPECT_GT(coefficient_of_variation(skewed), 1.0);
+}
+
+/// Percentile must be monotone in q over random data.
+class PercentileMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotoneTest, MonotoneInQ) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  for (int i = 0; i < 200; ++i) v.push_back(rng.normal(0.0, 5.0));
+  double previous = percentile(v, 0.0);
+  for (double q = 5.0; q <= 100.0; q += 5.0) {
+    const double current = percentile(v, q);
+    EXPECT_GE(current, previous) << "q=" << q;
+    previous = current;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotoneTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace anole
