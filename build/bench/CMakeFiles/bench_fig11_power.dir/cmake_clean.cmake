@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_power.dir/bench_fig11_power.cpp.o"
+  "CMakeFiles/bench_fig11_power.dir/bench_fig11_power.cpp.o.d"
+  "bench_fig11_power"
+  "bench_fig11_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

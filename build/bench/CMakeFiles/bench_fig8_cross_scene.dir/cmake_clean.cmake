@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_cross_scene.dir/bench_fig8_cross_scene.cpp.o"
+  "CMakeFiles/bench_fig8_cross_scene.dir/bench_fig8_cross_scene.cpp.o.d"
+  "bench_fig8_cross_scene"
+  "bench_fig8_cross_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cross_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

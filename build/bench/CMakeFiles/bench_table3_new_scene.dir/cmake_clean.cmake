@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_new_scene.dir/bench_table3_new_scene.cpp.o"
+  "CMakeFiles/bench_table3_new_scene.dir/bench_table3_new_scene.cpp.o.d"
+  "bench_table3_new_scene"
+  "bench_table3_new_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_new_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

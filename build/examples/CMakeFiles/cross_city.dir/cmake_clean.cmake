@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_city.dir/cross_city.cpp.o"
+  "CMakeFiles/cross_city.dir/cross_city.cpp.o.d"
+  "cross_city"
+  "cross_city.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

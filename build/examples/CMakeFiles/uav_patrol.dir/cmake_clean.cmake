@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uav_patrol.dir/uav_patrol.cpp.o"
+  "CMakeFiles/uav_patrol.dir/uav_patrol.cpp.o.d"
+  "uav_patrol"
+  "uav_patrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uav_patrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

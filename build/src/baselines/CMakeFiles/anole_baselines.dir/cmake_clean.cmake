@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anole_baselines.dir/methods.cpp.o"
+  "CMakeFiles/anole_baselines.dir/methods.cpp.o.d"
+  "libanole_baselines.a"
+  "libanole_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anole_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

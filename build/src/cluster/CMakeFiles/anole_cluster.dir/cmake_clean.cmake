@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anole_cluster.dir/kmeans.cpp.o"
+  "CMakeFiles/anole_cluster.dir/kmeans.cpp.o.d"
+  "libanole_cluster.a"
+  "libanole_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anole_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/artifact.cpp" "src/core/CMakeFiles/anole_core.dir/artifact.cpp.o" "gcc" "src/core/CMakeFiles/anole_core.dir/artifact.cpp.o.d"
+  "/root/repo/src/core/decision_model.cpp" "src/core/CMakeFiles/anole_core.dir/decision_model.cpp.o" "gcc" "src/core/CMakeFiles/anole_core.dir/decision_model.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/core/CMakeFiles/anole_core.dir/engine.cpp.o" "gcc" "src/core/CMakeFiles/anole_core.dir/engine.cpp.o.d"
+  "/root/repo/src/core/model_cache.cpp" "src/core/CMakeFiles/anole_core.dir/model_cache.cpp.o" "gcc" "src/core/CMakeFiles/anole_core.dir/model_cache.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/anole_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/anole_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/repository.cpp" "src/core/CMakeFiles/anole_core.dir/repository.cpp.o" "gcc" "src/core/CMakeFiles/anole_core.dir/repository.cpp.o.d"
+  "/root/repo/src/core/scene_encoder.cpp" "src/core/CMakeFiles/anole_core.dir/scene_encoder.cpp.o" "gcc" "src/core/CMakeFiles/anole_core.dir/scene_encoder.cpp.o.d"
+  "/root/repo/src/core/semantic_scenes.cpp" "src/core/CMakeFiles/anole_core.dir/semantic_scenes.cpp.o" "gcc" "src/core/CMakeFiles/anole_core.dir/semantic_scenes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/anole_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/anole_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/anole_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/anole_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/anole_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/anole_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anole_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

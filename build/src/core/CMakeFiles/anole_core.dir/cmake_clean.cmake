@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anole_core.dir/artifact.cpp.o"
+  "CMakeFiles/anole_core.dir/artifact.cpp.o.d"
+  "CMakeFiles/anole_core.dir/decision_model.cpp.o"
+  "CMakeFiles/anole_core.dir/decision_model.cpp.o.d"
+  "CMakeFiles/anole_core.dir/engine.cpp.o"
+  "CMakeFiles/anole_core.dir/engine.cpp.o.d"
+  "CMakeFiles/anole_core.dir/model_cache.cpp.o"
+  "CMakeFiles/anole_core.dir/model_cache.cpp.o.d"
+  "CMakeFiles/anole_core.dir/profiler.cpp.o"
+  "CMakeFiles/anole_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/anole_core.dir/repository.cpp.o"
+  "CMakeFiles/anole_core.dir/repository.cpp.o.d"
+  "CMakeFiles/anole_core.dir/scene_encoder.cpp.o"
+  "CMakeFiles/anole_core.dir/scene_encoder.cpp.o.d"
+  "CMakeFiles/anole_core.dir/semantic_scenes.cpp.o"
+  "CMakeFiles/anole_core.dir/semantic_scenes.cpp.o.d"
+  "libanole_core.a"
+  "libanole_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anole_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anole_detect.dir/detection.cpp.o"
+  "CMakeFiles/anole_detect.dir/detection.cpp.o.d"
+  "CMakeFiles/anole_detect.dir/detector_trainer.cpp.o"
+  "CMakeFiles/anole_detect.dir/detector_trainer.cpp.o.d"
+  "CMakeFiles/anole_detect.dir/grid_detector.cpp.o"
+  "CMakeFiles/anole_detect.dir/grid_detector.cpp.o.d"
+  "libanole_detect.a"
+  "libanole_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anole_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

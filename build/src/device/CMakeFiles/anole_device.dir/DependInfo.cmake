@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/profile.cpp" "src/device/CMakeFiles/anole_device.dir/profile.cpp.o" "gcc" "src/device/CMakeFiles/anole_device.dir/profile.cpp.o.d"
+  "/root/repo/src/device/session.cpp" "src/device/CMakeFiles/anole_device.dir/session.cpp.o" "gcc" "src/device/CMakeFiles/anole_device.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/anole_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anole_device.dir/profile.cpp.o"
+  "CMakeFiles/anole_device.dir/profile.cpp.o.d"
+  "CMakeFiles/anole_device.dir/session.cpp.o"
+  "CMakeFiles/anole_device.dir/session.cpp.o.d"
+  "libanole_device.a"
+  "libanole_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anole_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

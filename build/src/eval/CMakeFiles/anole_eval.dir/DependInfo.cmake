@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/confusion.cpp" "src/eval/CMakeFiles/anole_eval.dir/confusion.cpp.o" "gcc" "src/eval/CMakeFiles/anole_eval.dir/confusion.cpp.o.d"
+  "/root/repo/src/eval/f1_series.cpp" "src/eval/CMakeFiles/anole_eval.dir/f1_series.cpp.o" "gcc" "src/eval/CMakeFiles/anole_eval.dir/f1_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/anole_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/anole_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anole_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/anole_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/anole_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anole_eval.dir/confusion.cpp.o"
+  "CMakeFiles/anole_eval.dir/confusion.cpp.o.d"
+  "CMakeFiles/anole_eval.dir/f1_series.cpp.o"
+  "CMakeFiles/anole_eval.dir/f1_series.cpp.o.d"
+  "libanole_eval.a"
+  "libanole_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anole_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

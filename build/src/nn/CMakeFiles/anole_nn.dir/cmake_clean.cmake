@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anole_nn.dir/layers.cpp.o"
+  "CMakeFiles/anole_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/anole_nn.dir/loss.cpp.o"
+  "CMakeFiles/anole_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/anole_nn.dir/module.cpp.o"
+  "CMakeFiles/anole_nn.dir/module.cpp.o.d"
+  "CMakeFiles/anole_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/anole_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/anole_nn.dir/sequential.cpp.o"
+  "CMakeFiles/anole_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/anole_nn.dir/serialize.cpp.o"
+  "CMakeFiles/anole_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/anole_nn.dir/trainer.cpp.o"
+  "CMakeFiles/anole_nn.dir/trainer.cpp.o.d"
+  "libanole_nn.a"
+  "libanole_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anole_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

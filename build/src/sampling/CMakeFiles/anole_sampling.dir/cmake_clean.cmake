@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anole_sampling.dir/thompson.cpp.o"
+  "CMakeFiles/anole_sampling.dir/thompson.cpp.o.d"
+  "libanole_sampling.a"
+  "libanole_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anole_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anole_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/anole_tensor.dir/tensor.cpp.o.d"
+  "libanole_tensor.a"
+  "libanole_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anole_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anole_util.dir/log.cpp.o"
+  "CMakeFiles/anole_util.dir/log.cpp.o.d"
+  "CMakeFiles/anole_util.dir/rng.cpp.o"
+  "CMakeFiles/anole_util.dir/rng.cpp.o.d"
+  "CMakeFiles/anole_util.dir/stats.cpp.o"
+  "CMakeFiles/anole_util.dir/stats.cpp.o.d"
+  "CMakeFiles/anole_util.dir/table.cpp.o"
+  "CMakeFiles/anole_util.dir/table.cpp.o.d"
+  "libanole_util.a"
+  "libanole_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anole_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

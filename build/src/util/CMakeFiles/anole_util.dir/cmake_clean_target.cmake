@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libanole_util.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/attributes.cpp" "src/world/CMakeFiles/anole_world.dir/attributes.cpp.o" "gcc" "src/world/CMakeFiles/anole_world.dir/attributes.cpp.o.d"
+  "/root/repo/src/world/featurizer.cpp" "src/world/CMakeFiles/anole_world.dir/featurizer.cpp.o" "gcc" "src/world/CMakeFiles/anole_world.dir/featurizer.cpp.o.d"
+  "/root/repo/src/world/frame.cpp" "src/world/CMakeFiles/anole_world.dir/frame.cpp.o" "gcc" "src/world/CMakeFiles/anole_world.dir/frame.cpp.o.d"
+  "/root/repo/src/world/frame_generator.cpp" "src/world/CMakeFiles/anole_world.dir/frame_generator.cpp.o" "gcc" "src/world/CMakeFiles/anole_world.dir/frame_generator.cpp.o.d"
+  "/root/repo/src/world/scene_style.cpp" "src/world/CMakeFiles/anole_world.dir/scene_style.cpp.o" "gcc" "src/world/CMakeFiles/anole_world.dir/scene_style.cpp.o.d"
+  "/root/repo/src/world/world.cpp" "src/world/CMakeFiles/anole_world.dir/world.cpp.o" "gcc" "src/world/CMakeFiles/anole_world.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/anole_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anole_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anole_world.dir/attributes.cpp.o"
+  "CMakeFiles/anole_world.dir/attributes.cpp.o.d"
+  "CMakeFiles/anole_world.dir/featurizer.cpp.o"
+  "CMakeFiles/anole_world.dir/featurizer.cpp.o.d"
+  "CMakeFiles/anole_world.dir/frame.cpp.o"
+  "CMakeFiles/anole_world.dir/frame.cpp.o.d"
+  "CMakeFiles/anole_world.dir/frame_generator.cpp.o"
+  "CMakeFiles/anole_world.dir/frame_generator.cpp.o.d"
+  "CMakeFiles/anole_world.dir/scene_style.cpp.o"
+  "CMakeFiles/anole_world.dir/scene_style.cpp.o.d"
+  "CMakeFiles/anole_world.dir/world.cpp.o"
+  "CMakeFiles/anole_world.dir/world.cpp.o.d"
+  "libanole_world.a"
+  "libanole_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anole_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

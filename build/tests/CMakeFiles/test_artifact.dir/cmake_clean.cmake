@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_artifact.dir/test_artifact.cpp.o"
+  "CMakeFiles/test_artifact.dir/test_artifact.cpp.o.d"
+  "test_artifact"
+  "test_artifact.pdb"
+  "test_artifact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_artifact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/test_cluster.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/test_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/anole_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/anole_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/anole_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/anole_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/anole_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/anole_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/anole_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/anole_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/anole_world.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/anole_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/anole_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_trainer.dir/test_nn_trainer.cpp.o"
+  "CMakeFiles/test_nn_trainer.dir/test_nn_trainer.cpp.o.d"
+  "test_nn_trainer"
+  "test_nn_trainer.pdb"
+  "test_nn_trainer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_trainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_loss[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_optim[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_trainer[1]_include.cmake")
+include("/root/repo/build/tests/test_world[1]_include.cmake")
+include("/root/repo/build/tests/test_detect[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_sampling[1]_include.cmake")
+include("/root/repo/build/tests/test_model_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_device[1]_include.cmake")
+include("/root/repo/build/tests/test_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_core_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_artifact[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
