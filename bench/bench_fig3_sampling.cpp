@@ -36,7 +36,11 @@ int main() {
   TablePrinter table({"model", "|Gamma_i|", "random |S_i| (norm)",
                       "adaptive |S_i| (norm)"});
   for (std::size_t i = 0; i < n; ++i) {
-    table.add_row({"M" + std::to_string(i + 1), std::to_string(sizes[i]),
+    // Built via append rather than operator+: GCC 12 -O2 emits a spurious
+    // -Wrestrict on `"literal" + std::string&&`.
+    std::string model_name = "M";
+    model_name += std::to_string(i + 1);
+    table.add_row({std::move(model_name), std::to_string(sizes[i]),
                    format_double(random_norm[i], 4),
                    format_double(adaptive_norm[i], 4)});
   }

@@ -36,8 +36,12 @@ int main() {
     }
     if (run > 0) durations.push_back(static_cast<double>(run));
     const auto box = boxplot_summary(durations);
+    // Built via append rather than operator+: GCC 12 -O2 emits a spurious
+    // -Wrestrict on `"literal" + std::string&&`.
+    std::string trace_name = "T";
+    trace_name += std::to_string(t + 1);
     duration_table.add_row(
-        {"T" + std::to_string(t + 1), format_double(box.min, 0),
+        {std::move(trace_name), format_double(box.min, 0),
          format_double(box.q1, 1), format_double(box.median, 1),
          format_double(box.q3, 1), format_double(box.max, 0),
          format_double(box.mean, 1)});

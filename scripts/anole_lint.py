@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for the Anole codebase.
+
+Rules (each failure prints `file:line: rule-id: message`):
+
+  no-c-prng            rand()/srand() are banned everywhere; use anole::Rng
+                       (util/rng.hpp) so experiments stay reproducible.
+  no-naked-new         `new` / `delete` expressions are banned outside
+                       src/tensor/ internals; use std::make_unique and
+                       containers. (`= delete` declarations are fine.)
+  no-using-namespace   `using namespace` in a header leaks into every
+                       includer; banned in .hpp files.
+  own-header-first     A module's .cpp must include its own header first so
+                       headers stay self-contained.
+  no-cout              std::cout is banned outside examples/ and bench/;
+                       library code reports through util/log.hpp.
+
+Usage: anole_lint.py [repo-root]   (exits non-zero on any finding)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+RE_C_PRNG = re.compile(r"(?<![\w:.])s?rand\s*\(")
+RE_NAKED_NEW = re.compile(r"\bnew\b")
+RE_NAKED_DELETE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?")
+RE_DELETED_FN = re.compile(r"=\s*delete\b")
+RE_USING_NAMESPACE = re.compile(r"\busing\s+namespace\b")
+RE_COUT = re.compile(r"\bstd\s*::\s*cout\b")
+RE_INCLUDE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
+
+
+def strip_comments_and_strings(line: str, in_block_comment: bool):
+    """Blanks out comments and string/char literals, preserving length.
+
+    Returns (cleaned_line, still_in_block_comment). A line-based scanner is
+    enough here: the repo has no raw strings or multi-line literals.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    in_string = None  # quote char when inside a literal
+    while i < n:
+        ch = line[i]
+        nxt = line[i + 1] if i + 1 < n else ""
+        if in_block_comment:
+            if ch == "*" and nxt == "/":
+                in_block_comment = False
+                out.append("  ")
+                i += 2
+            else:
+                out.append(" ")
+                i += 1
+        elif in_string:
+            if ch == "\\":
+                out.append("  ")
+                i += 2
+            elif ch == in_string:
+                in_string = None
+                out.append(ch)
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        elif ch == "/" and nxt == "/":
+            break  # rest of line is a comment
+        elif ch == "/" and nxt == "*":
+            in_block_comment = True
+            out.append("  ")
+            i += 2
+        elif ch in "\"'":
+            in_string = ch
+            out.append(ch)
+            i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out), in_block_comment
+
+
+def iter_code_lines(path: Path):
+    """Yields (line_number, raw_line, cleaned_line); cleaned has comments
+    and string/char literal contents blanked out."""
+    in_block = False
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for number, line in enumerate(text.splitlines(), start=1):
+        cleaned, in_block = strip_comments_and_strings(line, in_block)
+        yield number, line, cleaned
+
+
+def lint_file(path: Path, rel: Path):
+    findings = []
+    rel_str = rel.as_posix()
+    is_header = path.suffix in {".hpp", ".h"}
+    in_tensor = rel_str.startswith("src/tensor/")
+    cout_allowed = rel_str.startswith(("examples/", "bench/"))
+
+    includes = []  # (line_number, include path) in order
+    for number, raw, line in iter_code_lines(path):
+        include = RE_INCLUDE.match(raw)
+        if include:
+            includes.append((number, include.group(1)))
+
+        if RE_C_PRNG.search(line):
+            findings.append((number, "no-c-prng",
+                             "rand()/srand() banned; use anole::Rng"))
+        if not in_tensor:
+            if RE_NAKED_NEW.search(line):
+                findings.append((number, "no-naked-new",
+                                 "naked new banned; use std::make_unique"))
+            stripped_deleted = RE_DELETED_FN.sub("", line)
+            if RE_NAKED_DELETE.search(stripped_deleted):
+                findings.append((number, "no-naked-new",
+                                 "naked delete banned; use RAII owners"))
+        if is_header and RE_USING_NAMESPACE.search(line):
+            findings.append((number, "no-using-namespace",
+                             "`using namespace` banned in headers"))
+        if not cout_allowed and RE_COUT.search(line):
+            findings.append((number, "no-cout",
+                             "std::cout banned here; use util/log.hpp"))
+
+    if path.suffix == ".cpp" and rel_str.startswith("src/"):
+        own_header = path.with_suffix(".hpp")
+        if own_header.exists():
+            expected = rel.with_suffix(".hpp").relative_to("src").as_posix()
+            if not includes:
+                findings.append((1, "own-header-first",
+                                 f'first include must be "{expected}"'))
+            elif includes[0][1] != expected:
+                findings.append((includes[0][0], "own-header-first",
+                                 f'first include must be "{expected}", '
+                                 f'got "{includes[0][1]}"'))
+
+    return findings
+
+
+def main(argv):
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
+    files = []
+    for scan_dir in SCAN_DIRS:
+        base = root / scan_dir
+        if not base.is_dir():
+            continue
+        files.extend(
+            p for p in sorted(base.rglob("*"))
+            if p.is_file() and p.suffix in CPP_SUFFIXES
+        )
+    if not files:
+        print(f"anole_lint: no C++ sources found under {root}", file=sys.stderr)
+        return 2
+
+    total = 0
+    for path in files:
+        rel = path.relative_to(root)
+        for number, rule, message in lint_file(path, rel):
+            print(f"{rel.as_posix()}:{number}: {rule}: {message}")
+            total += 1
+
+    if total:
+        print(f"anole_lint: {total} finding(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"anole_lint: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

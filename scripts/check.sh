@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full correctness gate: lint, Release build + tests, ASan+UBSan build +
+# tests. Non-zero exit on the first failure. Run from anywhere.
+set -euo pipefail
+
+repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> [1/3] repo lint"
+python3 scripts/anole_lint.py .
+
+echo "==> [2/3] Release build + tests (warnings are errors)"
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DANOLE_WERROR=ON
+cmake --build build -j "$jobs"
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+echo "==> [3/3] ASan+UBSan Debug build + tests"
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+  "-DANOLE_SANITIZE=address;undefined" -DANOLE_WERROR=ON
+cmake --build build-asan -j "$jobs"
+ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "check.sh: all gates passed"

@@ -1,6 +1,6 @@
 #include "baselines/methods.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace anole::baselines {
 namespace {
@@ -9,9 +9,7 @@ std::unique_ptr<SingleModelMethod> train_single(
     const world::World& world, const detect::GridDetectorConfig& detector_config,
     const detect::DetectorTrainConfig& train_config, Rng& rng) {
   const auto frames = world.frames_with_role(world::SplitRole::kTrain);
-  if (frames.empty()) {
-    throw std::invalid_argument("train_single: world has no train frames");
-  }
+  ANOLE_CHECK(!frames.empty(), "train_single: world has no train frames");
   auto detector = std::make_unique<detect::GridDetector>(
       detector_config, rng, world.config.grid_size);
   detect::train_detector(*detector, frames, train_config, rng);
@@ -55,9 +53,9 @@ CdgMethod::CdgMethod(
     Tensor centroids,
     std::vector<std::unique_ptr<detect::GridDetector>> detectors)
     : centroids_(std::move(centroids)), detectors_(std::move(detectors)) {
-  if (detectors_.empty() || centroids_.rows() != detectors_.size()) {
-    throw std::invalid_argument("CdgMethod: centroid/detector mismatch");
-  }
+  ANOLE_CHECK(!detectors_.empty(), "CdgMethod: no detectors");
+  ANOLE_CHECK_EQ(centroids_.rows(), detectors_.size(),
+                 "CdgMethod: centroid/detector count mismatch");
 }
 
 std::size_t CdgMethod::select_cluster(const world::Frame& frame) const {
@@ -88,9 +86,9 @@ std::uint64_t CdgMethod::weight_bytes() {
 std::unique_ptr<CdgMethod> train_cdg(const world::World& world,
                                      const BaselineConfig& config, Rng& rng) {
   const auto frames = world.frames_with_role(world::SplitRole::kTrain);
-  if (frames.size() < config.cdg_clusters) {
-    throw std::invalid_argument("train_cdg: not enough frames");
-  }
+  ANOLE_CHECK_GE(config.cdg_clusters, 1u, "train_cdg: cdg_clusters == 0");
+  ANOLE_CHECK_GE(frames.size(), config.cdg_clusters,
+                 "train_cdg: fewer train frames than clusters");
   const world::FrameFeaturizer featurizer;
   const Tensor descriptors = featurizer.featurize_batch(frames);
   cluster::KMeansConfig kmeans_config;
@@ -124,15 +122,12 @@ std::unique_ptr<CdgMethod> train_cdg(const world::World& world,
 DmmMethod::DmmMethod(
     std::vector<std::unique_ptr<detect::GridDetector>> per_dataset)
     : detectors_(std::move(per_dataset)) {
-  if (detectors_.empty()) {
-    throw std::invalid_argument("DmmMethod: no detectors");
-  }
+  ANOLE_CHECK(!detectors_.empty(), "DmmMethod: no detectors");
 }
 
 std::vector<detect::Detection> DmmMethod::infer(const world::Frame& frame) {
-  if (frame.dataset_id >= detectors_.size()) {
-    throw std::out_of_range("DmmMethod::infer: unknown dataset");
-  }
+  ANOLE_CHECK_RANGE(frame.dataset_id, detectors_.size(),
+                    "DmmMethod::infer: unknown dataset");
   return detectors_[frame.dataset_id]->detect(frame);
 }
 

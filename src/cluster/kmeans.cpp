@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <limits>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace anole::cluster {
 
 double squared_distance(std::span<const float> a, std::span<const float> b) {
+  ANOLE_CHECK_EQ(a.size(), b.size(), "squared_distance: length mismatch");
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     const double diff = static_cast<double>(a[i]) - b[i];
@@ -17,6 +19,8 @@ double squared_distance(std::span<const float> a, std::span<const float> b) {
 
 std::size_t nearest_centroid(const Tensor& centroids,
                              std::span<const float> point) {
+  ANOLE_CHECK(centroids.rank() == 2 && centroids.rows() > 0,
+              "nearest_centroid: centroids must be a non-empty [k, d]");
   std::size_t best = 0;
   double best_distance = std::numeric_limits<double>::max();
   for (std::size_t c = 0; c < centroids.rows(); ++c) {
@@ -37,15 +41,13 @@ std::vector<std::size_t> KMeansResult::cluster_sizes() const {
 
 KMeansResult kmeans(const Tensor& points, const KMeansConfig& config,
                     Rng& rng) {
-  if (points.rank() != 2) {
-    throw std::invalid_argument("kmeans: points must be [n, d]");
-  }
+  ANOLE_CHECK_EQ(points.rank(), 2u, "kmeans: points must be [n, d]");
   const std::size_t n = points.rows();
   const std::size_t d = points.cols();
   const std::size_t k = config.clusters;
-  if (k == 0 || n < k) {
-    throw std::invalid_argument("kmeans: need at least k points");
-  }
+  ANOLE_CHECK(k >= 1 && n >= k, "kmeans: need at least k points (k=", k,
+              ", n=", n, ")");
+  ANOLE_CHECK_GE(config.max_iterations, 1u, "kmeans: max_iterations == 0");
 
   KMeansResult result;
   result.centroids = Tensor::matrix(k, d);

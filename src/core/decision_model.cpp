@@ -5,6 +5,7 @@
 
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
+#include "util/check.hpp"
 #include "world/featurizer.hpp"
 
 namespace anole::core {
@@ -12,6 +13,9 @@ namespace anole::core {
 DecisionDataset build_decision_dataset(ModelRepository& repository,
                                        const DecisionSamplingConfig& config,
                                        Rng& rng) {
+  ANOLE_CHECK(config.suitability_f1 > 0.0 && config.suitability_f1 <= 1.0,
+              "build_decision_dataset: suitability_f1 must be in (0, 1], "
+              "got ", config.suitability_f1);
   DecisionDataset dataset;
   const std::size_t n_models = repository.size();
   if (n_models == 0) return dataset;
@@ -96,6 +100,8 @@ DecisionDataset build_decision_dataset(ModelRepository& repository,
 DecisionModel::DecisionModel(SceneEncoder& encoder, std::size_t model_count,
                              const DecisionModelConfig& config, Rng& rng)
     : encoder_(&encoder), model_count_(model_count), config_(config) {
+  ANOLE_CHECK_GE(model_count, 1u, "DecisionModel: no models to rank");
+  ANOLE_CHECK_GE(config.hidden_width, 1u, "DecisionModel: hidden_width == 0");
   head_ = std::make_unique<nn::Sequential>();
   head_->emplace<nn::Linear>(encoder.embedding_dim(), config.hidden_width,
                              rng);
@@ -106,6 +112,8 @@ DecisionModel::DecisionModel(SceneEncoder& encoder, std::size_t model_count,
 
 nn::TrainResult DecisionModel::train(const DecisionDataset& dataset,
                                      Rng& rng) {
+  ANOLE_CHECK_EQ(dataset.targets.cols(), model_count_,
+                 "DecisionModel::train: target width != model count");
   // Backbone frozen: embed once, train only the head on the embeddings.
   const Tensor embeddings = encoder_->embed(dataset.features);
   return nn::train_soft_classifier(*head_, embeddings, dataset.targets,
@@ -118,6 +126,9 @@ Tensor DecisionModel::suitability(const Tensor& descriptors) {
 }
 
 std::vector<std::size_t> DecisionModel::rank(const Tensor& descriptor_row) {
+  ANOLE_CHECK(descriptor_row.rank() == 2 && descriptor_row.rows() == 1,
+              "DecisionModel::rank: expected a single descriptor row, got ",
+              shape_to_string(descriptor_row.shape()));
   const Tensor probs = suitability(descriptor_row);
   std::vector<std::size_t> order(model_count_);
   std::iota(order.begin(), order.end(), std::size_t{0});

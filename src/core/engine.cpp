@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace anole::core {
 
@@ -11,16 +12,17 @@ AnoleEngine::AnoleEngine(AnoleSystem& system, const EngineConfig& config)
       config_(config),
       cache_(system.repository.size(), config.cache),
       top1_counts_(system.repository.size(), 0) {
-  if (system.repository.empty()) {
-    throw std::invalid_argument("AnoleEngine: empty model repository");
-  }
-  if (!system.decision) {
-    throw std::invalid_argument("AnoleEngine: missing decision model");
-  }
-  if (config.suitability_smoothing < 0.0 ||
-      config.suitability_smoothing >= 1.0) {
-    throw std::invalid_argument("AnoleEngine: smoothing must be in [0, 1)");
-  }
+  ANOLE_CHECK(!system.repository.empty(),
+              "AnoleEngine: empty model repository");
+  ANOLE_CHECK_NOTNULL(system.decision, "AnoleEngine: missing decision model");
+  ANOLE_CHECK(config.suitability_smoothing >= 0.0 &&
+                  config.suitability_smoothing < 1.0,
+              "AnoleEngine: smoothing must be in [0, 1), got ",
+              config.suitability_smoothing);
+  ANOLE_CHECK_GE(config.confidence_floor, 0.0,
+                 "AnoleEngine: negative confidence floor");
+  ANOLE_CHECK_EQ(system.decision->model_count(), system.repository.size(),
+                 "AnoleEngine: decision head width != repository size");
   // Broadest model = most scene classes, ties broken by validation F1.
   for (std::size_t m = 1; m < system.repository.size(); ++m) {
     const SceneModel& candidate = system.repository.model(m);

@@ -1,7 +1,8 @@
 #include "core/model_cache.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace anole::core {
 
@@ -14,15 +15,15 @@ const char* to_string(EvictionPolicy policy) {
     case EvictionPolicy::kFifo:
       return "FIFO";
   }
-  return "?";
+  ANOLE_UNREACHABLE("unknown EvictionPolicy ",
+                    static_cast<int>(policy));
 }
 
 ModelCache::ModelCache(std::size_t model_count, const CacheConfig& config)
     : config_(config), model_count_(model_count),
       use_counts_(model_count, 0) {
-  if (config.capacity == 0) {
-    throw std::invalid_argument("ModelCache: capacity must be >= 1");
-  }
+  ANOLE_CHECK_GE(config.capacity, 1u, "ModelCache: capacity must be >= 1");
+  ANOLE_CHECK_GE(model_count, 1u, "ModelCache: no models to cache");
 }
 
 std::optional<std::size_t> ModelCache::find(std::size_t model) const {
@@ -86,14 +87,19 @@ void ModelCache::load(std::size_t model) {
 }
 
 void ModelCache::touch(std::size_t entry_index) {
+  ANOLE_DCHECK_RANGE(entry_index, entries_.size(), "ModelCache::touch");
   entries_[entry_index].frequency += 1;
   entries_[entry_index].last_used = clock_;
 }
 
 ModelCache::Admission ModelCache::admit(
     std::span<const std::size_t> ranking) {
-  if (ranking.empty()) {
-    throw std::invalid_argument("ModelCache::admit: empty ranking");
+  ANOLE_CHECK(!ranking.empty(), "ModelCache::admit: empty ranking");
+  // A ranking entry outside the model id space would silently corrupt
+  // use_counts_; validate the whole vector up front.
+  for (std::size_t model : ranking) {
+    ANOLE_CHECK_RANGE(model, model_count_,
+                      "ModelCache::admit: unknown model id in ranking");
   }
   ++clock_;
   ++lookups_;
@@ -143,6 +149,8 @@ ModelCache::Admission ModelCache::admit(
 
 void ModelCache::preload(std::span<const std::size_t> models) {
   for (std::size_t model : models) {
+    ANOLE_CHECK_RANGE(model, model_count_,
+                      "ModelCache::preload: unknown model id");
     ++clock_;
     if (!contains(model)) load(model);
   }

@@ -1,5 +1,6 @@
 #include "core/profiler.hpp"
 
+#include "util/check.hpp"
 #include "util/log.hpp"
 #include "world/featurizer.hpp"
 
@@ -11,9 +12,8 @@ AnoleSystem OfflineProfiler::run(const world::World& world, Rng& rng,
   const auto train_frames = world.frames_with_role(world::SplitRole::kTrain);
   const auto val_frames =
       world.frames_with_role(world::SplitRole::kValidation);
-  if (train_frames.empty()) {
-    throw std::invalid_argument("OfflineProfiler: world has no train frames");
-  }
+  ANOLE_CHECK(!train_frames.empty(),
+              "OfflineProfiler: world has no train frames");
 
   // --- Training dataset segmentation: semantic scenes (IV-A1) ---
   system.scene_index = SemanticSceneIndex::build(train_frames);

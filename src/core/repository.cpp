@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "util/check.hpp"
 #include "util/log.hpp"
 #include "world/featurizer.hpp"
 
@@ -63,6 +64,14 @@ ModelRepository train_model_repository(
     const std::vector<const world::Frame*>& train_frames,
     const std::vector<const world::Frame*>& val_frames,
     const RepositoryConfig& config, Rng& rng) {
+  ANOLE_CHECK_GE(config.target_models, 1u,
+                 "train_model_repository: target_models == 0");
+  ANOLE_CHECK_GE(config.max_cluster_k, 2u,
+                 "train_model_repository: max_cluster_k must be >= 2");
+  ANOLE_CHECK(config.acceptance_threshold >= 0.0 &&
+                  config.acceptance_threshold <= 1.0,
+              "train_model_repository: acceptance_threshold must be in "
+              "[0, 1], got ", config.acceptance_threshold);
   ModelRepository repository;
 
   const auto train_by_class = group_by_class(scene_index, train_frames);
@@ -130,9 +139,16 @@ ModelRepository train_model_repository(
       }
 
       detect::GridDetectorConfig detector_config = config.detector_config;
-      detector_config.name =
-          "M" + std::to_string(repository.size() + 1) + "(k=" +
-          std::to_string(k) + ",c=" + std::to_string(j) + ")";
+      // Built via append rather than operator+ chains: GCC 12 -O2 emits a
+      // spurious -Wrestrict on `"literal" + std::string&&`.
+      std::string model_name = "M";
+      model_name += std::to_string(repository.size() + 1);
+      model_name += "(k=";
+      model_name += std::to_string(k);
+      model_name += ",c=";
+      model_name += std::to_string(j);
+      model_name += ")";
+      detector_config.name = std::move(model_name);
       auto detector = std::make_unique<detect::GridDetector>(
           detector_config, rng,
           cluster_train.front()->grid_size);
@@ -169,8 +185,12 @@ ModelRepository train_model_repository(
       const auto& cluster_train = train_by_class[cls];
       if (cluster_train.size() < config.min_training_frames / 2) continue;
       detect::GridDetectorConfig detector_config = config.detector_config;
-      detector_config.name = "M" + std::to_string(repository.size() + 1) +
-                             "(scene=" + std::to_string(cls) + ")";
+      std::string model_name = "M";
+      model_name += std::to_string(repository.size() + 1);
+      model_name += "(scene=";
+      model_name += std::to_string(cls);
+      model_name += ")";
+      detector_config.name = std::move(model_name);
       auto detector = std::make_unique<detect::GridDetector>(
           detector_config, rng, cluster_train.front()->grid_size);
       detect::train_detector(*detector, cluster_train, train_config, rng);

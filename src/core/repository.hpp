@@ -12,6 +12,7 @@
 #include "core/semantic_scenes.hpp"
 #include "detect/detector_trainer.hpp"
 #include "detect/grid_detector.hpp"
+#include "util/check.hpp"
 
 namespace anole::core {
 
@@ -38,14 +39,28 @@ class ModelRepository {
   std::size_t size() const { return models_.size(); }
   bool empty() const { return models_.empty(); }
 
-  SceneModel& model(std::size_t i) { return models_.at(i); }
-  const SceneModel& model(std::size_t i) const { return models_.at(i); }
-
-  detect::GridDetector& detector(std::size_t i) {
-    return *models_.at(i).detector;
+  SceneModel& model(std::size_t i) {
+    ANOLE_CHECK_RANGE(i, models_.size(), "ModelRepository::model");
+    return models_[i];
+  }
+  const SceneModel& model(std::size_t i) const {
+    ANOLE_CHECK_RANGE(i, models_.size(), "ModelRepository::model");
+    return models_[i];
   }
 
-  void add(SceneModel model) { models_.push_back(std::move(model)); }
+  detect::GridDetector& detector(std::size_t i) {
+    ANOLE_CHECK_RANGE(i, models_.size(), "ModelRepository::detector");
+    ANOLE_CHECK_NOTNULL(models_[i].detector,
+                        "ModelRepository::detector: model ", i,
+                        " has no detector");
+    return *models_[i].detector;
+  }
+
+  void add(SceneModel model) {
+    ANOLE_CHECK_NOTNULL(model.detector,
+                        "ModelRepository::add: model has no detector");
+    models_.push_back(std::move(model));
+  }
 
   /// |Gamma_i| for every model, in order (input to ASS).
   std::vector<std::size_t> training_set_sizes() const;

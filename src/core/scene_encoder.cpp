@@ -1,10 +1,15 @@
 #include "core/scene_encoder.hpp"
 
+#include "util/check.hpp"
+
 namespace anole::core {
 
 SceneEncoder::SceneEncoder(std::size_t class_count,
                            const SceneEncoderConfig& config, Rng& rng)
     : class_count_(class_count), config_(config) {
+  ANOLE_CHECK_GE(class_count, 1u, "SceneEncoder: no scene classes");
+  ANOLE_CHECK_GE(config.hidden_width, 1u, "SceneEncoder: hidden_width == 0");
+  ANOLE_CHECK_GE(config.embedding_dim, 1u, "SceneEncoder: embedding_dim == 0");
   const std::size_t input = world::FrameFeaturizer::feature_count();
   trunk_ = std::make_unique<nn::Sequential>();
   trunk_->emplace<nn::Linear>(input, config.hidden_width, rng);

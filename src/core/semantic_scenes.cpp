@@ -1,7 +1,8 @@
 #include "core/semantic_scenes.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace anole::core {
 
@@ -43,7 +44,9 @@ std::optional<std::size_t> SemanticSceneIndex::class_of(
 }
 
 std::size_t SemanticSceneIndex::semantic_of(std::size_t class_id) const {
-  return semantic_ids_.at(class_id);
+  ANOLE_CHECK_RANGE(class_id, semantic_ids_.size(),
+                    "SemanticSceneIndex::semantic_of");
+  return semantic_ids_[class_id];
 }
 
 world::SceneAttributes SemanticSceneIndex::attributes_of(
@@ -57,10 +60,9 @@ std::vector<std::size_t> SemanticSceneIndex::labels_of(
   labels.reserve(frames.size());
   for (const world::Frame* frame : frames) {
     const auto label = class_of(*frame);
-    if (!label) {
-      throw std::invalid_argument(
-          "SemanticSceneIndex::labels_of: frame from unindexed scene");
-    }
+    ANOLE_CHECK(label.has_value(),
+                "SemanticSceneIndex::labels_of: frame from unindexed "
+                "semantic scene ", frame->semantic_scene_id());
     labels.push_back(*label);
   }
   return labels;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace anole::detect {
 
 double iou(double acx, double acy, double aw, double ah, double bcx,
@@ -32,6 +34,11 @@ double iou(const Detection& a, const world::ObjectInstance& b) {
 std::vector<Detection> non_maximum_suppression(std::vector<Detection> dets,
                                                double threshold,
                                                double min_center_distance) {
+  ANOLE_CHECK(threshold >= 0.0 && threshold <= 1.0,
+              "non_maximum_suppression: threshold must be in [0, 1], got ",
+              threshold);
+  ANOLE_CHECK_GE(min_center_distance, 0.0,
+                 "non_maximum_suppression: negative center distance");
   std::sort(dets.begin(), dets.end(),
             [](const Detection& a, const Detection& b) {
               return a.confidence > b.confidence;
@@ -84,6 +91,9 @@ double MatchCounts::f1() const {
 MatchCounts match_detections(const std::vector<Detection>& detections,
                              const std::vector<world::ObjectInstance>& truth,
                              double iou_threshold) {
+  ANOLE_CHECK(iou_threshold > 0.0 && iou_threshold <= 1.0,
+              "match_detections: iou_threshold must be in (0, 1], got ",
+              iou_threshold);
   std::vector<std::size_t> order(detections.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {

@@ -4,6 +4,7 @@
 
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "util/check.hpp"
 #include "util/log.hpp"
 
 namespace anole::detect {
@@ -49,6 +50,11 @@ std::size_t DetectorTrainConfig::effective_epochs(std::size_t frames) const {
 DetectorTrainResult train_detector(
     GridDetector& detector, const std::vector<const world::Frame*>& frames,
     const DetectorTrainConfig& config, Rng& rng) {
+  ANOLE_CHECK_GE(config.frames_per_batch, 1u,
+                 "train_detector: frames_per_batch == 0 would never advance");
+  ANOLE_CHECK(config.learning_rate > 0.0,
+              "train_detector: learning_rate must be positive, got ",
+              config.learning_rate);
   DetectorTrainResult result;
   result.frames_seen = frames.size();
   if (frames.empty()) return result;
@@ -135,6 +141,7 @@ MatchCounts evaluate_counts(Detector& detector,
                             double iou_threshold) {
   MatchCounts counts;
   for (const world::Frame* frame : frames) {
+    ANOLE_CHECK_NOTNULL(frame, "evaluate_counts: null frame pointer");
     counts += match_detections(detector.detect(*frame), frame->objects,
                                iou_threshold);
   }

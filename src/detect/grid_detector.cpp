@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "nn/serialize.hpp"
+#include "util/check.hpp"
 #include "world/scene_style.hpp"
 
 namespace anole::detect {
@@ -49,6 +50,10 @@ GridDetectorConfig GridDetectorConfig::large(std::string name) {
 GridDetector::GridDetector(const GridDetectorConfig& config, Rng& rng,
                            std::size_t grid_size)
     : config_(config), grid_size_(grid_size) {
+  ANOLE_CHECK_GE(grid_size, 1u, "GridDetector: grid_size == 0");
+  // A threshold above 1 is legal: it suppresses every detection.
+  ANOLE_CHECK_GE(config.confidence_threshold, 0.0,
+                 "GridDetector: negative confidence_threshold");
   std::vector<std::size_t> widths;
   widths.push_back(input_features());
   for (std::size_t h : config.hidden) widths.push_back(h);
@@ -67,6 +72,11 @@ std::size_t GridDetector::input_features() {
 Tensor GridDetector::build_inputs(const world::Frame& frame) {
   const std::size_t g = frame.grid_size;
   const std::size_t cells = frame.cell_count();
+  ANOLE_CHECK(frame.cells.rank() == 2 && frame.cells.rows() == cells &&
+                  frame.cells.cols() == world::kCellChannels,
+              "GridDetector::build_inputs: frame cell tensor shape ",
+              shape_to_string(frame.cells.shape()), " does not match grid ",
+              g, "x", g);
   Tensor inputs = Tensor::matrix(cells, input_features());
   std::vector<float> context(kContextFeatures);
   write_context(frame, context);
@@ -137,6 +147,9 @@ GridDetector::Targets GridDetector::build_targets(const world::Frame& frame) {
 
 std::vector<Detection> GridDetector::detect(const world::Frame& frame) {
   const std::size_t g = frame.grid_size;
+  ANOLE_CHECK_EQ(g, grid_size_,
+                 "GridDetector::detect: frame grid does not match the grid "
+                 "this detector was built for");
   Tensor inputs = build_inputs(frame);
   Tensor outputs = network_->forward(inputs);
   std::vector<Detection> detections;

@@ -1,15 +1,19 @@
 #include "device/profile.hpp"
 
 #include <algorithm>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace anole::device {
 
 double DeviceProfile::inference_latency_ms(std::uint64_t flops,
                                            double throughput_scale) const {
-  if (throughput_scale <= 0.0) {
-    throw std::invalid_argument("inference_latency_ms: bad throughput");
-  }
+  ANOLE_CHECK(throughput_scale > 0.0,
+              "inference_latency_ms: throughput_scale must be positive, "
+              "got ",
+              throughput_scale);
+  ANOLE_CHECK_GE(reference_flops, 1u,
+                 "inference_latency_ms: reference_flops == 0");
   const double units = static_cast<double>(flops) /
                        static_cast<double>(reference_flops);
   return inference_overhead_ms +
@@ -109,9 +113,8 @@ std::vector<DeviceProfile> DeviceProfile::all_devices(
 }
 
 MemoryModel::MemoryModel(std::uint64_t reference_bytes) {
-  if (reference_bytes == 0) {
-    throw std::invalid_argument("MemoryModel: reference_bytes must be > 0");
-  }
+  ANOLE_CHECK_GE(reference_bytes, 1u,
+                 "MemoryModel: reference_bytes must be > 0");
   // The compressed detector maps to the paper's 40 MB loaded footprint.
   mb_per_byte_ = 40.0 / static_cast<double>(reference_bytes);
 }

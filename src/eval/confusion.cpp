@@ -1,22 +1,19 @@
 #include "eval/confusion.hpp"
 
-#include <stdexcept>
-
+#include "util/check.hpp"
 #include "util/table.hpp"
 
 namespace anole::eval {
 
 ConfusionMatrix::ConfusionMatrix(std::size_t classes)
     : classes_(classes), counts_(classes * classes, 0) {
-  if (classes == 0) {
-    throw std::invalid_argument("ConfusionMatrix: classes must be >= 1");
-  }
+  ANOLE_CHECK_GE(classes, 1u, "ConfusionMatrix: classes must be >= 1");
 }
 
 void ConfusionMatrix::add(std::size_t truth, std::size_t predicted) {
-  if (truth >= classes_ || predicted >= classes_) {
-    throw std::out_of_range("ConfusionMatrix::add");
-  }
+  ANOLE_CHECK_RANGE(truth, classes_, "ConfusionMatrix::add: truth label");
+  ANOLE_CHECK_RANGE(predicted, classes_,
+                    "ConfusionMatrix::add: predicted label");
   ++counts_[truth * classes_ + predicted];
 }
 

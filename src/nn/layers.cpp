@@ -1,7 +1,8 @@
 #include "nn/layers.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace anole::nn {
 
@@ -10,6 +11,8 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
       out_features_(out_features),
       weight_(Tensor::matrix(in_features, out_features)),
       bias_(Tensor(Shape{out_features})) {
+  ANOLE_CHECK_GT(in_features, 0u, "Linear: in_features == 0");
+  ANOLE_CHECK_GT(out_features, 0u, "Linear: out_features == 0");
   // He initialization: suited to the ReLU-family activations used here.
   const double scale = std::sqrt(2.0 / static_cast<double>(in_features));
   for (auto& w : weight_.value.data()) {
@@ -18,11 +21,9 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng)
 }
 
 Tensor Linear::forward(const Tensor& input) {
-  if (input.rank() != 2 || input.cols() != in_features_) {
-    throw std::invalid_argument("Linear::forward: expected [batch, " +
-                                std::to_string(in_features_) + "], got " +
-                                shape_to_string(input.shape()));
-  }
+  ANOLE_CHECK(input.rank() == 2 && input.cols() == in_features_,
+              "Linear::forward: expected [batch, ", in_features_, "], got ",
+              shape_to_string(input.shape()));
   cached_input_ = input;
   Tensor out = matmul(input, weight_.value);
   add_row_broadcast(out, bias_.value);
@@ -30,6 +31,11 @@ Tensor Linear::forward(const Tensor& input) {
 }
 
 Tensor Linear::backward(const Tensor& grad_output) {
+  ANOLE_CHECK(!cached_input_.empty(),
+              "Linear::backward before forward");
+  ANOLE_CHECK(grad_output.rank() == 2 && grad_output.cols() == out_features_,
+              "Linear::backward: expected [batch, ", out_features_,
+              "], got ", shape_to_string(grad_output.shape()));
   weight_.grad += matmul_transpose_a(cached_input_, grad_output);
   bias_.grad += sum_rows(grad_output);
   return matmul_transpose_b(grad_output, weight_.value);
@@ -113,9 +119,8 @@ Tensor Tanh::backward(const Tensor& grad_output) {
 }
 
 Dropout::Dropout(float rate, std::uint64_t seed) : rate_(rate), rng_(seed) {
-  if (rate < 0.0f || rate >= 1.0f) {
-    throw std::invalid_argument("Dropout: rate must be in [0, 1)");
-  }
+  ANOLE_CHECK(rate >= 0.0f && rate < 1.0f,
+              "Dropout: rate must be in [0, 1), got ", rate);
 }
 
 Tensor Dropout::forward(const Tensor& input) {
@@ -147,12 +152,15 @@ LayerNorm::LayerNorm(std::size_t features, float epsilon)
     : features_(features),
       epsilon_(epsilon),
       gain_(Tensor(Shape{features}, 1.0f)),
-      bias_(Tensor(Shape{features})) {}
+      bias_(Tensor(Shape{features})) {
+  ANOLE_CHECK_GT(features, 0u, "LayerNorm: features == 0");
+  ANOLE_CHECK_GT(epsilon, 0.0f, "LayerNorm: epsilon must be > 0");
+}
 
 Tensor LayerNorm::forward(const Tensor& input) {
-  if (input.rank() != 2 || input.cols() != features_) {
-    throw std::invalid_argument("LayerNorm::forward: feature mismatch");
-  }
+  ANOLE_CHECK(input.rank() == 2 && input.cols() == features_,
+              "LayerNorm::forward: expected [batch, ", features_, "], got ",
+              shape_to_string(input.shape()));
   const std::size_t batch = input.rows();
   Tensor out = input;
   cached_normalized_ = Tensor::matrix(batch, features_);
@@ -177,6 +185,12 @@ Tensor LayerNorm::forward(const Tensor& input) {
 }
 
 Tensor LayerNorm::backward(const Tensor& grad_output) {
+  ANOLE_CHECK(!cached_normalized_.empty(),
+              "LayerNorm::backward before forward");
+  ANOLE_CHECK(grad_output.rank() == 2 && grad_output.cols() == features_ &&
+                  grad_output.rows() == cached_normalized_.rows(),
+              "LayerNorm::backward: grad shape ",
+              shape_to_string(grad_output.shape()), " does not match forward");
   const std::size_t batch = grad_output.rows();
   Tensor grad_input = Tensor::matrix(batch, features_);
   for (std::size_t r = 0; r < batch; ++r) {

@@ -2,19 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace anole::nn {
-namespace {
-
-void require(bool condition, const char* message) {
-  if (!condition) throw std::invalid_argument(message);
-}
-
-}  // namespace
 
 Tensor softmax_rows(const Tensor& logits) {
-  require(logits.rank() == 2, "softmax_rows: rank != 2");
+  ANOLE_CHECK_EQ(logits.rank(), 2u, "softmax_rows: rank != 2");
   Tensor out = logits;
   for (std::size_t r = 0; r < out.rows(); ++r) {
     auto row = out.row(r);
@@ -33,16 +27,17 @@ Tensor softmax_rows(const Tensor& logits) {
 float softmax_cross_entropy(const Tensor& logits,
                             std::span<const std::size_t> labels,
                             Tensor& grad) {
-  require(logits.rank() == 2, "softmax_cross_entropy: rank != 2");
-  require(labels.size() == logits.rows(),
-          "softmax_cross_entropy: batch mismatch");
+  ANOLE_CHECK_EQ(logits.rank(), 2u, "softmax_cross_entropy: rank != 2");
+  ANOLE_CHECK_EQ(labels.size(), logits.rows(),
+                 "softmax_cross_entropy: batch mismatch");
+  ANOLE_CHECK_GT(logits.rows(), 0u, "softmax_cross_entropy: empty batch");
   const std::size_t batch = logits.rows();
   grad = softmax_rows(logits);
   double loss = 0.0;
   const float inv_batch = 1.0f / static_cast<float>(batch);
   for (std::size_t r = 0; r < batch; ++r) {
-    require(labels[r] < logits.cols(),
-            "softmax_cross_entropy: label out of range");
+    ANOLE_CHECK_LT(labels[r], logits.cols(),
+                   "softmax_cross_entropy: label out of range at row ", r);
     auto g = grad.row(r);
     loss -= std::log(std::max(g[labels[r]], 1e-12f));
     g[labels[r]] -= 1.0f;
@@ -53,8 +48,12 @@ float softmax_cross_entropy(const Tensor& logits,
 
 float softmax_cross_entropy_soft(const Tensor& logits, const Tensor& targets,
                                  Tensor& grad) {
-  require(logits.shape() == targets.shape(),
-          "softmax_cross_entropy_soft: shape mismatch");
+  ANOLE_CHECK_EQ(logits.rank(), 2u, "softmax_cross_entropy_soft: rank != 2");
+  ANOLE_CHECK(logits.shape() == targets.shape(),
+              "softmax_cross_entropy_soft: shape mismatch ",
+              shape_to_string(logits.shape()), " vs ",
+              shape_to_string(targets.shape()));
+  ANOLE_CHECK_GT(logits.rows(), 0u, "softmax_cross_entropy_soft: empty batch");
   const std::size_t batch = logits.rows();
   grad = softmax_rows(logits);
   double loss = 0.0;
@@ -74,11 +73,15 @@ float softmax_cross_entropy_soft(const Tensor& logits, const Tensor& targets,
 
 float bce_with_logits(const Tensor& logits, const Tensor& targets,
                       Tensor& grad, float positive_weight) {
-  require(logits.shape() == targets.shape(),
-          "bce_with_logits: shape mismatch");
+  ANOLE_CHECK(logits.shape() == targets.shape(),
+              "bce_with_logits: shape mismatch ",
+              shape_to_string(logits.shape()), " vs ",
+              shape_to_string(targets.shape()));
+  ANOLE_CHECK_GT(positive_weight, 0.0f,
+                 "bce_with_logits: positive_weight must be > 0");
   grad = Tensor(logits.shape());
   const std::size_t n = logits.size();
-  require(n > 0, "bce_with_logits: empty input");
+  ANOLE_CHECK_GT(n, 0u, "bce_with_logits: empty input");
   double loss = 0.0;
   const float inv_n = 1.0f / static_cast<float>(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -97,15 +100,19 @@ float bce_with_logits(const Tensor& logits, const Tensor& targets,
 
 float mse_loss(const Tensor& predictions, const Tensor& targets, Tensor& grad,
                const Tensor& element_mask) {
-  require(predictions.shape() == targets.shape(), "mse_loss: shape mismatch");
+  ANOLE_CHECK(predictions.shape() == targets.shape(),
+              "mse_loss: shape mismatch ",
+              shape_to_string(predictions.shape()), " vs ",
+              shape_to_string(targets.shape()));
   const bool masked = !element_mask.empty();
   if (masked) {
-    require(element_mask.shape() == predictions.shape(),
-            "mse_loss: mask shape mismatch");
+    ANOLE_CHECK(element_mask.shape() == predictions.shape(),
+                "mse_loss: mask shape mismatch ",
+                shape_to_string(element_mask.shape()));
   }
   grad = Tensor(predictions.shape());
   const std::size_t n = predictions.size();
-  require(n > 0, "mse_loss: empty input");
+  ANOLE_CHECK_GT(n, 0u, "mse_loss: empty input");
   double loss = 0.0;
   double active = 0.0;
   for (std::size_t i = 0; i < n; ++i) {

@@ -2,7 +2,20 @@
 
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace anole::nn {
+namespace {
+
+void check_params(const std::vector<Parameter*>& params, const char* who) {
+  for (const Parameter* p : params) {
+    ANOLE_CHECK_NOTNULL(p, who, ": null parameter");
+    ANOLE_CHECK(p->value.shape() == p->grad.shape(), who,
+                ": parameter value/grad shape mismatch");
+  }
+}
+
+}  // namespace
 
 void Optimizer::zero_grad() {
   for (Parameter* p : params_) p->zero_grad();
@@ -13,6 +26,8 @@ Sgd::Sgd(std::vector<Parameter*> params, double learning_rate, double momentum,
     : Optimizer(std::move(params)),
       momentum_(momentum),
       weight_decay_(weight_decay) {
+  check_params(params_, "Sgd");
+  ANOLE_CHECK_GE(learning_rate, 0.0, "Sgd: negative learning rate");
   learning_rate_ = learning_rate;
   velocity_.reserve(params_.size());
   for (Parameter* p : params_) velocity_.emplace_back(p->value.shape());
@@ -44,6 +59,11 @@ Adam::Adam(std::vector<Parameter*> params, double learning_rate, double beta1,
       beta2_(beta2),
       epsilon_(epsilon),
       weight_decay_(weight_decay) {
+  check_params(params_, "Adam");
+  ANOLE_CHECK_GE(learning_rate, 0.0, "Adam: negative learning rate");
+  ANOLE_CHECK(beta1 >= 0.0 && beta1 < 1.0, "Adam: beta1 must be in [0, 1)");
+  ANOLE_CHECK(beta2 >= 0.0 && beta2 < 1.0, "Adam: beta2 must be in [0, 1)");
+  ANOLE_CHECK_GT(epsilon, 0.0, "Adam: epsilon must be > 0");
   learning_rate_ = learning_rate;
   first_moment_.reserve(params_.size());
   second_moment_.reserve(params_.size());

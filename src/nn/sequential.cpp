@@ -1,10 +1,11 @@
 #include "nn/sequential.hpp"
 
-#include <stdexcept>
+#include "util/check.hpp"
 
 namespace anole::nn {
 
 Sequential& Sequential::add(ModulePtr module) {
+  ANOLE_CHECK_NOTNULL(module, "Sequential::add: null module");
   modules_.push_back(std::move(module));
   return *this;
 }
@@ -44,8 +45,10 @@ std::uint64_t Sequential::flops_per_sample() const {
 
 std::unique_ptr<Sequential> make_mlp(const std::vector<std::size_t>& widths,
                                      Rng& rng, float dropout_rate) {
-  if (widths.size() < 2) {
-    throw std::invalid_argument("make_mlp: need at least input and output");
+  ANOLE_CHECK_GE(widths.size(), 2u,
+                 "make_mlp: need at least input and output widths");
+  for (std::size_t width : widths) {
+    ANOLE_CHECK_GT(width, 0u, "make_mlp: zero layer width");
   }
   auto net = std::make_unique<Sequential>();
   for (std::size_t i = 0; i + 1 < widths.size(); ++i) {

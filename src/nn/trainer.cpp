@@ -1,24 +1,17 @@
 #include "nn/trainer.hpp"
 
 #include <algorithm>
-#include <stdexcept>
 
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
+#include "util/check.hpp"
 #include "util/log.hpp"
 
 namespace anole::nn {
-namespace {
-
-void require(bool condition, const char* message) {
-  if (!condition) throw std::invalid_argument(message);
-}
-
-}  // namespace
 
 Tensor gather_rows(const Tensor& matrix,
                    std::span<const std::size_t> indices) {
-  require(matrix.rank() == 2, "gather_rows: rank != 2");
+  ANOLE_CHECK_EQ(matrix.rank(), 2u, "gather_rows: rank != 2");
   Tensor out = Tensor::matrix(indices.size(), matrix.cols());
   for (std::size_t i = 0; i < indices.size(); ++i) {
     auto src = matrix.row(indices[i]);
@@ -33,10 +26,13 @@ TrainResult train_classifier(Module& net, const Tensor& inputs,
                              const TrainConfig& config, Rng& rng,
                              const Tensor& val_inputs,
                              std::span<const std::size_t> val_labels) {
-  require(inputs.rank() == 2, "train_classifier: inputs rank != 2");
-  require(inputs.rows() == labels.size(),
-          "train_classifier: label count mismatch");
-  require(inputs.rows() > 0, "train_classifier: empty training set");
+  ANOLE_CHECK_EQ(inputs.rank(), 2u, "train_classifier: inputs rank != 2");
+  ANOLE_CHECK_EQ(inputs.rows(), labels.size(),
+                 "train_classifier: label count mismatch");
+  ANOLE_CHECK_GT(inputs.rows(), 0u, "train_classifier: empty training set");
+  ANOLE_CHECK_GT(config.batch_size, 0u, "train_classifier: batch_size == 0");
+  ANOLE_CHECK_EQ(val_inputs.empty(), val_labels.empty(),
+                 "train_classifier: validation inputs/labels disagree");
 
   TrainResult result;
   Adam optimizer(net.parameters(), config.learning_rate, 0.9, 0.999, 1e-8,
@@ -99,10 +95,14 @@ TrainResult train_classifier(Module& net, const Tensor& inputs,
 TrainResult train_soft_classifier(Module& net, const Tensor& inputs,
                                   const Tensor& soft_targets,
                                   const TrainConfig& config, Rng& rng) {
-  require(inputs.rank() == 2, "train_soft_classifier: inputs rank != 2");
-  require(inputs.rows() == soft_targets.rows(),
-          "train_soft_classifier: target count mismatch");
-  require(inputs.rows() > 0, "train_soft_classifier: empty training set");
+  ANOLE_CHECK_EQ(inputs.rank(), 2u,
+                 "train_soft_classifier: inputs rank != 2");
+  ANOLE_CHECK_EQ(inputs.rows(), soft_targets.rows(),
+                 "train_soft_classifier: target count mismatch");
+  ANOLE_CHECK_GT(inputs.rows(), 0u,
+                 "train_soft_classifier: empty training set");
+  ANOLE_CHECK_GT(config.batch_size, 0u,
+                 "train_soft_classifier: batch_size == 0");
 
   TrainResult result;
   Adam optimizer(net.parameters(), config.learning_rate, 0.9, 0.999, 1e-8,

@@ -1,15 +1,15 @@
 #include "sampling/thompson.hpp"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace anole::sampling {
 
 double required_samples(std::size_t training_set_size, double theta) {
   if (training_set_size <= 1) return 1.0;
-  if (theta <= 0.0 || theta >= 1.0) {
-    throw std::invalid_argument("required_samples: theta must be in (0,1)");
-  }
+  ANOLE_CHECK(theta > 0.0 && theta < 1.0,
+              "required_samples: theta must be in (0, 1), got ", theta);
   const double n = static_cast<double>(training_set_size);
   const double numerator = std::log(1.0 - std::pow(theta, 1.0 / n));
   const double denominator = std::log(1.0 - 1.0 / n);
@@ -19,9 +19,10 @@ double required_samples(std::size_t training_set_size, double theta) {
 AdaptiveSceneSampler::AdaptiveSceneSampler(
     std::vector<std::size_t> training_set_sizes, double theta)
     : theta_(theta) {
-  if (training_set_sizes.empty()) {
-    throw std::invalid_argument("AdaptiveSceneSampler: no training sets");
-  }
+  ANOLE_CHECK(!training_set_sizes.empty(),
+              "AdaptiveSceneSampler: no training sets");
+  ANOLE_CHECK(theta > 0.0 && theta < 1.0,
+              "AdaptiveSceneSampler: theta must be in (0, 1), got ", theta);
   arms_.reserve(training_set_sizes.size());
   for (std::size_t size : training_set_sizes) {
     SamplingArm arm;
@@ -45,9 +46,7 @@ std::optional<std::size_t> AdaptiveSceneSampler::next_arm(Rng& rng) {
 }
 
 void AdaptiveSceneSampler::record_draw(std::size_t arm) {
-  if (arm >= arms_.size()) {
-    throw std::out_of_range("AdaptiveSceneSampler::record_draw");
-  }
+  ANOLE_CHECK_RANGE(arm, arms_.size(), "AdaptiveSceneSampler::record_draw");
   // Note: the paper's text updates the *chosen* arm with alpha+1 and all
   // others with beta+1, but under "highest draw wins" that feedback loop is
   // rich-get-richer: one training set monopolizes the budget and most
@@ -67,7 +66,8 @@ void AdaptiveSceneSampler::record_draw(std::size_t arm) {
 }
 
 bool AdaptiveSceneSampler::well_sampled(std::size_t arm) const {
-  const SamplingArm& a = arms_.at(arm);
+  ANOLE_CHECK_RANGE(arm, arms_.size(), "AdaptiveSceneSampler::well_sampled");
+  const SamplingArm& a = arms_[arm];
   return static_cast<double>(a.samples_drawn) >
          required_samples(a.training_set_size, theta_);
 }
@@ -91,9 +91,7 @@ std::vector<double> AdaptiveSceneSampler::draw_counts() const {
 RandomSceneSampler::RandomSceneSampler(
     std::vector<std::size_t> training_set_sizes)
     : sizes_(std::move(training_set_sizes)) {
-  if (sizes_.empty()) {
-    throw std::invalid_argument("RandomSceneSampler: no training sets");
-  }
+  ANOLE_CHECK(!sizes_.empty(), "RandomSceneSampler: no training sets");
   weights_.reserve(sizes_.size());
   for (std::size_t size : sizes_) {
     weights_.push_back(static_cast<double>(size));
@@ -106,7 +104,8 @@ std::size_t RandomSceneSampler::next_arm(Rng& rng) {
 }
 
 void RandomSceneSampler::record_draw(std::size_t arm) {
-  ++draws_.at(arm);
+  ANOLE_CHECK_RANGE(arm, draws_.size(), "RandomSceneSampler::record_draw");
+  ++draws_[arm];
 }
 
 std::vector<double> RandomSceneSampler::draw_counts() const {

@@ -3,7 +3,8 @@
 #include <cmath>
 #include <numeric>
 #include <sstream>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace anole {
 namespace {
@@ -15,18 +16,11 @@ std::size_t shape_size(const Shape& shape) {
   return n;
 }
 
-void require(bool condition, const std::string& message) {
-  if (!condition) throw std::invalid_argument(message);
-}
-
 void require_same_shape(const Tensor& a, const Tensor& b,
                         const char* op_name) {
-  if (a.shape() != b.shape()) {
-    std::ostringstream out;
-    out << op_name << ": shape mismatch " << shape_to_string(a.shape())
-        << " vs " << shape_to_string(b.shape());
-    throw std::invalid_argument(out.str());
-  }
+  ANOLE_CHECK(a.shape() == b.shape(), op_name, ": shape mismatch ",
+              shape_to_string(a.shape()), " vs ",
+              shape_to_string(b.shape()));
 }
 
 }  // namespace
@@ -50,9 +44,9 @@ Tensor::Tensor(Shape shape, float fill)
 
 Tensor::Tensor(Shape shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
-  require(data_.size() == shape_size(shape_),
-          "Tensor: data size does not match shape " +
-              shape_to_string(shape_));
+  ANOLE_CHECK_EQ(data_.size(), shape_size(shape_),
+                 "Tensor: data size does not match shape ",
+                 shape_to_string(shape_));
 }
 
 Tensor Tensor::matrix(std::size_t rows, std::size_t cols, float fill) {
@@ -69,32 +63,39 @@ Tensor Tensor::vector(std::vector<float> values) {
 }
 
 std::size_t Tensor::dim(std::size_t i) const {
-  require(i < shape_.size(), "Tensor::dim: index out of range");
+  ANOLE_CHECK_LT(i, shape_.size(), "Tensor::dim: axis out of range for ",
+                 shape_to_string(shape_));
   return shape_[i];
 }
 
 std::size_t Tensor::rows() const {
-  require(rank() == 2, "Tensor::rows: rank != 2");
+  ANOLE_CHECK_EQ(rank(), 2u, "Tensor::rows on ", shape_to_string(shape_));
   return shape_[0];
 }
 
 std::size_t Tensor::cols() const {
-  require(rank() == 2, "Tensor::cols: rank != 2");
+  ANOLE_CHECK_EQ(rank(), 2u, "Tensor::cols on ", shape_to_string(shape_));
   return shape_[1];
 }
 
 float& Tensor::at(std::size_t r, std::size_t c) {
+  ANOLE_DCHECK(rank() == 2, "Tensor::at on ", shape_to_string(shape_));
+  ANOLE_DCHECK_RANGE(r, shape_[0], "Tensor::at row");
+  ANOLE_DCHECK_RANGE(c, shape_[1], "Tensor::at col");
   return data_[r * shape_[1] + c];
 }
 
 float Tensor::at(std::size_t r, std::size_t c) const {
+  ANOLE_DCHECK(rank() == 2, "Tensor::at on ", shape_to_string(shape_));
+  ANOLE_DCHECK_RANGE(r, shape_[0], "Tensor::at row");
+  ANOLE_DCHECK_RANGE(c, shape_[1], "Tensor::at col");
   return data_[r * shape_[1] + c];
 }
 
 Tensor Tensor::reshaped(Shape new_shape) const {
-  require(shape_size(new_shape) == data_.size(),
-          "Tensor::reshaped: size mismatch for shape " +
-              shape_to_string(new_shape));
+  ANOLE_CHECK_EQ(shape_size(new_shape), data_.size(),
+                 "Tensor::reshaped: size mismatch for shape ",
+                 shape_to_string(new_shape));
   return Tensor(std::move(new_shape), data_);
 }
 
@@ -154,22 +155,22 @@ float Tensor::l2_norm() const {
 }
 
 std::span<float> Tensor::row(std::size_t r) {
-  require(rank() == 2, "Tensor::row: rank != 2");
-  require(r < shape_[0], "Tensor::row: row out of range");
+  ANOLE_CHECK_EQ(rank(), 2u, "Tensor::row on ", shape_to_string(shape_));
+  ANOLE_CHECK_LT(r, shape_[0], "Tensor::row out of range");
   return std::span<float>(data_).subspan(r * shape_[1], shape_[1]);
 }
 
 std::span<const float> Tensor::row(std::size_t r) const {
-  require(rank() == 2, "Tensor::row: rank != 2");
-  require(r < shape_[0], "Tensor::row: row out of range");
+  ANOLE_CHECK_EQ(rank(), 2u, "Tensor::row on ", shape_to_string(shape_));
+  ANOLE_CHECK_LT(r, shape_[0], "Tensor::row out of range");
   return std::span<const float>(data_).subspan(r * shape_[1], shape_[1]);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
-  require(a.rank() == 2 && b.rank() == 2, "matmul: rank != 2");
-  require(a.cols() == b.rows(), "matmul: inner dimension mismatch " +
-                                    shape_to_string(a.shape()) + " x " +
-                                    shape_to_string(b.shape()));
+  ANOLE_CHECK(a.rank() == 2 && b.rank() == 2, "matmul: rank != 2");
+  ANOLE_CHECK_EQ(a.cols(), b.rows(), "matmul: inner dimension mismatch ",
+                 shape_to_string(a.shape()), " x ",
+                 shape_to_string(b.shape()));
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
@@ -191,9 +192,12 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
-  require(a.rank() == 2 && b.rank() == 2, "matmul_transpose_a: rank != 2");
-  require(a.rows() == b.rows(),
-          "matmul_transpose_a: outer dimension mismatch");
+  ANOLE_CHECK(a.rank() == 2 && b.rank() == 2,
+              "matmul_transpose_a: rank != 2");
+  ANOLE_CHECK_EQ(a.rows(), b.rows(),
+                 "matmul_transpose_a: outer dimension mismatch ",
+                 shape_to_string(a.shape()), " x ",
+                 shape_to_string(b.shape()));
   const std::size_t k = a.rows();
   const std::size_t m = a.cols();
   const std::size_t n = b.cols();
@@ -215,9 +219,12 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
 }
 
 Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
-  require(a.rank() == 2 && b.rank() == 2, "matmul_transpose_b: rank != 2");
-  require(a.cols() == b.cols(),
-          "matmul_transpose_b: inner dimension mismatch");
+  ANOLE_CHECK(a.rank() == 2 && b.rank() == 2,
+              "matmul_transpose_b: rank != 2");
+  ANOLE_CHECK_EQ(a.cols(), b.cols(),
+                 "matmul_transpose_b: inner dimension mismatch ",
+                 shape_to_string(a.shape()), " x ",
+                 shape_to_string(b.shape()));
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
@@ -259,9 +266,11 @@ Tensor operator*(Tensor a, float scalar) {
 }
 
 void add_row_broadcast(Tensor& matrix, const Tensor& row_vector) {
-  require(matrix.rank() == 2, "add_row_broadcast: matrix rank != 2");
-  require(row_vector.rank() == 1 && row_vector.size() == matrix.cols(),
-          "add_row_broadcast: bias shape mismatch");
+  ANOLE_CHECK_EQ(matrix.rank(), 2u, "add_row_broadcast: matrix rank != 2");
+  ANOLE_CHECK(row_vector.rank() == 1 && row_vector.size() == matrix.cols(),
+              "add_row_broadcast: bias shape mismatch ",
+              shape_to_string(row_vector.shape()), " for matrix ",
+              shape_to_string(matrix.shape()));
   for (std::size_t r = 0; r < matrix.rows(); ++r) {
     auto row = matrix.row(r);
     for (std::size_t c = 0; c < row.size(); ++c) row[c] += row_vector[c];
@@ -269,6 +278,7 @@ void add_row_broadcast(Tensor& matrix, const Tensor& row_vector) {
 }
 
 Tensor sum_rows(const Tensor& matrix) {
+  ANOLE_CHECK_EQ(matrix.rank(), 2u, "sum_rows: rank != 2");
   Tensor out(Shape{matrix.cols()});
   for (std::size_t r = 0; r < matrix.rows(); ++r) {
     auto row = matrix.row(r);
@@ -278,6 +288,7 @@ Tensor sum_rows(const Tensor& matrix) {
 }
 
 Tensor transpose(const Tensor& matrix) {
+  ANOLE_CHECK_EQ(matrix.rank(), 2u, "transpose: rank != 2");
   Tensor out = Tensor::matrix(matrix.cols(), matrix.rows());
   for (std::size_t r = 0; r < matrix.rows(); ++r) {
     for (std::size_t c = 0; c < matrix.cols(); ++c) {

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace anole {
 
 /// Shape of a tensor; rank is shape.size().
@@ -20,7 +22,8 @@ std::string shape_to_string(const Shape& shape);
 /// Dense row-major float tensor with value semantics.
 ///
 /// Rank 0 tensors are not supported; scalars are rank-1 tensors of size 1.
-/// All binary operations check shapes and throw std::invalid_argument on
+/// All binary operations check shapes and throw anole::ContractViolation
+/// (a std::invalid_argument) on
 /// mismatch — silent broadcasting bugs are the classic failure mode of
 /// hand-rolled NN code, so there is no implicit broadcasting except the
 /// explicitly named row-wise helpers.
@@ -59,11 +62,17 @@ class Tensor {
   std::span<float> data() { return data_; }
   std::span<const float> data() const { return data_; }
 
-  /// Flat element access.
-  float& operator[](std::size_t i) { return data_[i]; }
-  float operator[](std::size_t i) const { return data_[i]; }
+  /// Flat element access (bounds checked in debug builds only).
+  float& operator[](std::size_t i) {
+    ANOLE_DCHECK_RANGE(i, data_.size(), "Tensor::operator[]");
+    return data_[i];
+  }
+  float operator[](std::size_t i) const {
+    ANOLE_DCHECK_RANGE(i, data_.size(), "Tensor::operator[]");
+    return data_[i];
+  }
 
-  /// 2-D element access (rank-2 only; bounds unchecked in release).
+  /// 2-D element access (rank-2 only; bounds checked in debug builds only).
   float& at(std::size_t r, std::size_t c);
   float at(std::size_t r, std::size_t c) const;
 

@@ -1,0 +1,146 @@
+// Contract-checking macros used at every public API boundary.
+//
+// Policy (see DESIGN.md "Error handling"):
+//   * ANOLE_CHECK* guards preconditions callers can get wrong (shapes,
+//     ranges, null handles, configuration values). Violations throw
+//     ContractViolation / BoundsViolation with file:line, the failing
+//     expression, and the offending values, and are always on — including
+//     in Release builds.
+//   * ANOLE_DCHECK* guards internal invariants on hot paths (per-element
+//     indexing, loop-internal consistency). Compiled out under NDEBUG.
+//   * ANOLE_UNREACHABLE marks switch defaults / logically dead branches.
+//
+// ContractViolation derives from std::invalid_argument and BoundsViolation
+// from std::out_of_range, so callers catching the standard hierarchy keep
+// working.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace anole {
+
+/// A precondition stated with ANOLE_CHECK* did not hold.
+class ContractViolation : public std::invalid_argument {
+ public:
+  explicit ContractViolation(const std::string& message)
+      : std::invalid_argument(message) {}
+};
+
+/// An index stated with ANOLE_CHECK_RANGE was outside its container.
+class BoundsViolation : public std::out_of_range {
+ public:
+  explicit BoundsViolation(const std::string& message)
+      : std::out_of_range(message) {}
+};
+
+namespace check_detail {
+
+inline void append_parts(std::ostringstream&) {}
+
+template <typename T, typename... Rest>
+void append_parts(std::ostringstream& out, const T& first,
+                  const Rest&... rest) {
+  out << first;
+  append_parts(out, rest...);
+}
+
+/// "file:line: KIND failed: expr[: detail...]".
+template <typename... Parts>
+std::string format_failure(const char* file, int line, const char* kind,
+                           const char* expression, const Parts&... parts) {
+  std::ostringstream out;
+  out << file << ':' << line << ": " << kind << " failed: " << expression;
+  if constexpr (sizeof...(parts) > 0) {
+    out << ": ";
+    append_parts(out, parts...);
+  }
+  return out.str();
+}
+
+}  // namespace check_detail
+}  // namespace anole
+
+/// Precondition: throws anole::ContractViolation when `condition` is false.
+/// Extra arguments are streamed into the message.
+#define ANOLE_CHECK(condition, ...)                                         \
+  do {                                                                      \
+    if (!(condition)) [[unlikely]] {                                        \
+      throw ::anole::ContractViolation(                                     \
+          ::anole::check_detail::format_failure(                            \
+              __FILE__, __LINE__, "ANOLE_CHECK",                            \
+              #condition __VA_OPT__(, ) __VA_ARGS__));                      \
+    }                                                                       \
+  } while (false)
+
+// Shared body of the binary comparison checks; operands evaluate once and
+// their values land in the diagnostic.
+#define ANOLE_CHECK_OP_(kind, op, lhs, rhs, ...)                            \
+  do {                                                                      \
+    const auto& anole_lhs_ = (lhs);                                         \
+    const auto& anole_rhs_ = (rhs);                                         \
+    if (!(anole_lhs_ op anole_rhs_)) [[unlikely]] {                         \
+      throw ::anole::ContractViolation(                                     \
+          ::anole::check_detail::format_failure(                            \
+              __FILE__, __LINE__, kind, #lhs " " #op " " #rhs, "(",         \
+              anole_lhs_, " vs ", anole_rhs_, ")" __VA_OPT__(, ": ", )      \
+                  __VA_ARGS__));                                            \
+    }                                                                       \
+  } while (false)
+
+#define ANOLE_CHECK_EQ(lhs, rhs, ...) \
+  ANOLE_CHECK_OP_("ANOLE_CHECK_EQ", ==, lhs, rhs __VA_OPT__(, ) __VA_ARGS__)
+#define ANOLE_CHECK_NE(lhs, rhs, ...) \
+  ANOLE_CHECK_OP_("ANOLE_CHECK_NE", !=, lhs, rhs __VA_OPT__(, ) __VA_ARGS__)
+#define ANOLE_CHECK_LT(lhs, rhs, ...) \
+  ANOLE_CHECK_OP_("ANOLE_CHECK_LT", <, lhs, rhs __VA_OPT__(, ) __VA_ARGS__)
+#define ANOLE_CHECK_LE(lhs, rhs, ...) \
+  ANOLE_CHECK_OP_("ANOLE_CHECK_LE", <=, lhs, rhs __VA_OPT__(, ) __VA_ARGS__)
+#define ANOLE_CHECK_GT(lhs, rhs, ...) \
+  ANOLE_CHECK_OP_("ANOLE_CHECK_GT", >, lhs, rhs __VA_OPT__(, ) __VA_ARGS__)
+#define ANOLE_CHECK_GE(lhs, rhs, ...) \
+  ANOLE_CHECK_OP_("ANOLE_CHECK_GE", >=, lhs, rhs __VA_OPT__(, ) __VA_ARGS__)
+
+/// Index check: throws anole::BoundsViolation (an std::out_of_range) when
+/// `index >= size`.
+#define ANOLE_CHECK_RANGE(index, size, ...)                                 \
+  do {                                                                      \
+    const auto& anole_index_ = (index);                                     \
+    const auto& anole_size_ = (size);                                       \
+    if (!(anole_index_ < anole_size_)) [[unlikely]] {                       \
+      throw ::anole::BoundsViolation(                                       \
+          ::anole::check_detail::format_failure(                            \
+              __FILE__, __LINE__, "ANOLE_CHECK_RANGE", #index " < " #size,  \
+              "(index ", anole_index_, ", size ", anole_size_,              \
+              ")" __VA_OPT__(, ": ", ) __VA_ARGS__));                       \
+    }                                                                       \
+  } while (false)
+
+/// Null-handle check; returns nothing, use as a statement.
+#define ANOLE_CHECK_NOTNULL(pointer, ...)                                   \
+  ANOLE_CHECK((pointer) != nullptr __VA_OPT__(, ) __VA_ARGS__)
+
+/// Marks code that must be unreachable; always throws.
+#define ANOLE_UNREACHABLE(...)                                              \
+  throw ::anole::ContractViolation(::anole::check_detail::format_failure(   \
+      __FILE__, __LINE__, "ANOLE_UNREACHABLE",                              \
+      "reached" __VA_OPT__(, ) __VA_ARGS__))
+
+// Debug-only variants: full checks without NDEBUG, compiled out (but still
+// parsed, so operands stay name-checked) in Release.
+#ifdef NDEBUG
+#define ANOLE_DCHECK(condition, ...) \
+  do {                               \
+    (void)sizeof(!(condition));      \
+  } while (false)
+#define ANOLE_DCHECK_RANGE(index, size, ...)    \
+  do {                                          \
+    (void)sizeof(!((index) < (size)));          \
+  } while (false)
+#else
+#define ANOLE_DCHECK(condition, ...) \
+  ANOLE_CHECK(condition __VA_OPT__(, ) __VA_ARGS__)
+#define ANOLE_DCHECK_RANGE(index, size, ...) \
+  ANOLE_CHECK_RANGE(index, size __VA_OPT__(, ) __VA_ARGS__)
+#endif

@@ -1,6 +1,8 @@
 #include "world/attributes.hpp"
 
-#include <stdexcept>
+#include <cctype>
+
+#include "util/check.hpp"
 
 namespace anole::world {
 
@@ -61,9 +63,8 @@ std::size_t SceneAttributes::semantic_index() const {
 }
 
 SceneAttributes SceneAttributes::from_semantic_index(std::size_t index) {
-  if (index >= kSemanticSceneCount) {
-    throw std::out_of_range("SceneAttributes::from_semantic_index");
-  }
+  ANOLE_CHECK_RANGE(index, kSemanticSceneCount,
+                    "SceneAttributes::from_semantic_index");
   SceneAttributes attrs;
   attrs.time = static_cast<TimeOfDay>(index % kTimeOfDayCount);
   index /= kTimeOfDayCount;

@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace anole::world {
 
@@ -38,9 +39,9 @@ Clip ClipGenerator::generate(const ClipSpec& spec, Rng& rng) const {
 }
 
 SceneAttributes AttributePool::sample(Rng& rng) const {
-  if (attributes.empty()) {
-    throw std::logic_error("AttributePool::sample: empty pool");
-  }
+  ANOLE_CHECK(!attributes.empty(), "AttributePool::sample: empty pool");
+  ANOLE_CHECK_EQ(weights.size(), attributes.size(),
+                 "AttributePool::sample: weight/attribute count mismatch");
   return attributes[rng.weighted_index(weights)];
 }
 
@@ -171,6 +172,12 @@ World make_world(const WorldConfig& config,
                  const std::vector<DatasetProfile>& profiles) {
   World world;
   world.config = config;
+  ANOLE_CHECK_GE(config.grid_size, 1u, "make_world: grid_size == 0");
+  ANOLE_CHECK_GE(config.frames_per_clip, 1u,
+                 "make_world: frames_per_clip == 0");
+  ANOLE_CHECK(config.clip_scale > 0.0,
+              "make_world: clip_scale must be positive, got ",
+              config.clip_scale);
   Rng rng(config.seed);
   ClipGenerator generator(config.grid_size);
 
@@ -216,13 +223,14 @@ World make_benchmark_world(const WorldConfig& config) {
 
 Clip synthesize_fast_changing_clip(const World& world, std::size_t segments,
                                    std::size_t segment_length, Rng& rng) {
+  ANOLE_CHECK_GE(segments, 1u, "synthesize_fast_changing_clip: segments == 0");
+  ANOLE_CHECK_GE(segment_length, 1u,
+                 "synthesize_fast_changing_clip: segment_length == 0");
   std::vector<const Clip*> seen;
   for (const auto& clip : world.clips) {
     if (clip.seen) seen.push_back(&clip);
   }
-  if (seen.empty()) {
-    throw std::logic_error("synthesize_fast_changing_clip: no seen clips");
-  }
+  ANOLE_CHECK(!seen.empty(), "synthesize_fast_changing_clip: no seen clips");
   ClipGenerator generator(world.config.grid_size);
   Clip spliced;
   spliced.seen = false;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <sstream>
 
 #include "core/profiler.hpp"
@@ -22,7 +23,8 @@ class ArtifactTest : public ::testing::Test {
     world_config.frames_per_clip = 50;
     world_config.clip_scale = 0.12;
     world_config.seed = 77;
-    world_ = new world::World(world::make_benchmark_world(world_config));
+    world_ = std::make_unique<world::World>(
+        world::make_benchmark_world(world_config));
     ProfilerConfig config;
     config.encoder.train.epochs = 15;
     config.repository.target_models = 6;
@@ -33,20 +35,20 @@ class ArtifactTest : public ::testing::Test {
     config.decision.train.epochs = 15;
     Rng rng(3);
     OfflineProfiler profiler(config);
-    system_ = new AnoleSystem(profiler.run(*world_, rng));
+    system_ = std::make_unique<AnoleSystem>(profiler.run(*world_, rng));
   }
 
   static void TearDownTestSuite() {
-    delete system_;
-    delete world_;
+    system_.reset();
+    world_.reset();
   }
 
-  static world::World* world_;
-  static AnoleSystem* system_;
+  static std::unique_ptr<world::World> world_;
+  static std::unique_ptr<AnoleSystem> system_;
 };
 
-world::World* ArtifactTest::world_ = nullptr;
-AnoleSystem* ArtifactTest::system_ = nullptr;
+std::unique_ptr<world::World> ArtifactTest::world_;
+std::unique_ptr<AnoleSystem> ArtifactTest::system_;
 
 TEST_F(ArtifactTest, RoundTripPreservesStructure) {
   std::stringstream stream;

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/profiler.hpp"
 #include "eval/f1_series.hpp"
 #include "util/log.hpp"
@@ -19,43 +21,44 @@ class BaselineTest : public ::testing::Test {
     world_config.frames_per_clip = 60;
     world_config.clip_scale = 0.15;
     world_config.seed = 55;
-    world_ = new world::World(world::make_benchmark_world(world_config));
-    rng_ = new Rng(5);
-    config_ = new BaselineConfig();
+    world_ = std::make_unique<world::World>(
+        world::make_benchmark_world(world_config));
+    rng_ = std::make_unique<Rng>(5);
+    config_ = std::make_unique<BaselineConfig>();
     config_->detector_train.epochs = 12;
     config_->cdg_clusters = 4;
-    sdm_ = train_sdm(*world_, *config_, *rng_).release();
-    ssm_ = train_ssm(*world_, *config_, *rng_).release();
-    cdg_ = train_cdg(*world_, *config_, *rng_).release();
-    dmm_ = train_dmm(*world_, *config_, *rng_).release();
+    sdm_ = train_sdm(*world_, *config_, *rng_);
+    ssm_ = train_ssm(*world_, *config_, *rng_);
+    cdg_ = train_cdg(*world_, *config_, *rng_);
+    dmm_ = train_dmm(*world_, *config_, *rng_);
   }
 
   static void TearDownTestSuite() {
-    delete sdm_;
-    delete ssm_;
-    delete cdg_;
-    delete dmm_;
-    delete config_;
-    delete rng_;
-    delete world_;
+    sdm_.reset();
+    ssm_.reset();
+    cdg_.reset();
+    dmm_.reset();
+    config_.reset();
+    rng_.reset();
+    world_.reset();
   }
 
-  static world::World* world_;
-  static Rng* rng_;
-  static BaselineConfig* config_;
-  static SingleModelMethod* sdm_;
-  static SingleModelMethod* ssm_;
-  static CdgMethod* cdg_;
-  static DmmMethod* dmm_;
+  static std::unique_ptr<world::World> world_;
+  static std::unique_ptr<Rng> rng_;
+  static std::unique_ptr<BaselineConfig> config_;
+  static std::unique_ptr<SingleModelMethod> sdm_;
+  static std::unique_ptr<SingleModelMethod> ssm_;
+  static std::unique_ptr<CdgMethod> cdg_;
+  static std::unique_ptr<DmmMethod> dmm_;
 };
 
-world::World* BaselineTest::world_ = nullptr;
-Rng* BaselineTest::rng_ = nullptr;
-BaselineConfig* BaselineTest::config_ = nullptr;
-SingleModelMethod* BaselineTest::sdm_ = nullptr;
-SingleModelMethod* BaselineTest::ssm_ = nullptr;
-CdgMethod* BaselineTest::cdg_ = nullptr;
-DmmMethod* BaselineTest::dmm_ = nullptr;
+std::unique_ptr<world::World> BaselineTest::world_;
+std::unique_ptr<Rng> BaselineTest::rng_;
+std::unique_ptr<BaselineConfig> BaselineTest::config_;
+std::unique_ptr<SingleModelMethod> BaselineTest::sdm_;
+std::unique_ptr<SingleModelMethod> BaselineTest::ssm_;
+std::unique_ptr<CdgMethod> BaselineTest::cdg_;
+std::unique_ptr<DmmMethod> BaselineTest::dmm_;
 
 TEST_F(BaselineTest, NamesAreStable) {
   EXPECT_EQ(sdm_->name(), "SDM");
@@ -77,8 +80,8 @@ TEST_F(BaselineTest, MethodsProduceReasonableF1) {
   // model must clearly work, every method must be valid, and at least half
   // of them should be non-trivial.
   std::size_t nontrivial = 0;
-  for (InferenceMethod* method :
-       std::vector<InferenceMethod*>{sdm_, ssm_, cdg_, dmm_}) {
+  for (InferenceMethod* method : std::vector<InferenceMethod*>{
+           sdm_.get(), ssm_.get(), cdg_.get(), dmm_.get()}) {
     const double f1 = eval::overall_f1(
         [&](const world::Frame& f) { return method->infer(f); }, test);
     EXPECT_GE(f1, 0.0) << method->name();

@@ -1,0 +1,178 @@
+// Tests for the ANOLE_CHECK* contract macros (src/util/check.hpp) and for
+// representative contract enforcement at public API boundaries.
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/model_cache.hpp"
+#include "tensor/tensor.hpp"
+
+namespace anole {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(ANOLE_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(ANOLE_CHECK(true, "never shown"));
+}
+
+TEST(Check, FailingConditionThrowsContractViolation) {
+  EXPECT_THROW(ANOLE_CHECK(false), ContractViolation);
+  // ContractViolation must remain catchable as std::invalid_argument so
+  // pre-existing callers keep working.
+  EXPECT_THROW(ANOLE_CHECK(false), std::invalid_argument);
+}
+
+TEST(Check, MessageCarriesFileLineExpressionAndDetail) {
+  try {
+    const int answer = 41;
+    ANOLE_CHECK(answer == 42, "expected the answer, got ", answer);
+    FAIL() << "ANOLE_CHECK did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("test_check.cpp"), std::string::npos) << message;
+    EXPECT_NE(message.find("ANOLE_CHECK failed"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("answer == 42"), std::string::npos) << message;
+    EXPECT_NE(message.find("expected the answer, got 41"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(Check, ComparisonMacrosReportBothOperands) {
+  try {
+    ANOLE_CHECK_EQ(2 + 2, 5, "arithmetic drifted");
+    FAIL() << "ANOLE_CHECK_EQ did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("ANOLE_CHECK_EQ failed"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("(4 vs 5)"), std::string::npos) << message;
+    EXPECT_NE(message.find("arithmetic drifted"), std::string::npos)
+        << message;
+  }
+  EXPECT_NO_THROW(ANOLE_CHECK_EQ(3, 3));
+  EXPECT_NO_THROW(ANOLE_CHECK_LT(1, 2));
+  EXPECT_THROW(ANOLE_CHECK_LT(2, 1), ContractViolation);
+  EXPECT_NO_THROW(ANOLE_CHECK_GE(2, 2));
+  EXPECT_THROW(ANOLE_CHECK_GE(1, 2), ContractViolation);
+  EXPECT_NO_THROW(ANOLE_CHECK_NE(1, 2));
+  EXPECT_THROW(ANOLE_CHECK_NE(2, 2), ContractViolation);
+}
+
+TEST(Check, ComparisonOperandsEvaluateExactlyOnce) {
+  int evaluations = 0;
+  auto count = [&evaluations] { return ++evaluations; };
+  ANOLE_CHECK_GE(count(), 1);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, RangeThrowsBoundsViolation) {
+  const std::size_t size = 3;
+  EXPECT_NO_THROW(ANOLE_CHECK_RANGE(std::size_t{2}, size));
+  EXPECT_THROW(ANOLE_CHECK_RANGE(std::size_t{3}, size), BoundsViolation);
+  // BoundsViolation must remain catchable as std::out_of_range.
+  EXPECT_THROW(ANOLE_CHECK_RANGE(std::size_t{9}, size), std::out_of_range);
+  try {
+    ANOLE_CHECK_RANGE(std::size_t{7}, size, "SomeClass::at");
+    FAIL() << "ANOLE_CHECK_RANGE did not throw";
+  } catch (const BoundsViolation& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("(index 7, size 3)"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("SomeClass::at"), std::string::npos) << message;
+  }
+}
+
+TEST(Check, NotNullAcceptsLivePointerRejectsNull) {
+  int value = 7;
+  int* live = &value;
+  int* null = nullptr;
+  EXPECT_NO_THROW(ANOLE_CHECK_NOTNULL(live));
+  EXPECT_THROW(ANOLE_CHECK_NOTNULL(null, "handle required"),
+               ContractViolation);
+}
+
+TEST(Check, UnreachableAlwaysThrows) {
+  auto hit = [] { ANOLE_UNREACHABLE("unhandled enum value ", 99); };
+  EXPECT_THROW(hit(), ContractViolation);
+  try {
+    hit();
+  } catch (const ContractViolation& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("ANOLE_UNREACHABLE"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("unhandled enum value 99"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(Check, DcheckMatchesBuildMode) {
+#ifdef NDEBUG
+  // Compiled out in Release: the condition must not even be evaluated.
+  bool evaluated = false;
+  auto probe = [&evaluated] {
+    evaluated = true;
+    return false;
+  };
+  ANOLE_DCHECK(probe(), "never thrown in Release");
+  EXPECT_FALSE(evaluated);
+  EXPECT_NO_THROW(ANOLE_DCHECK_RANGE(std::size_t{5}, std::size_t{3}));
+  (void)probe;
+#else
+  EXPECT_THROW(ANOLE_DCHECK(false), ContractViolation);
+  EXPECT_THROW(ANOLE_DCHECK_RANGE(std::size_t{5}, std::size_t{3}),
+               BoundsViolation);
+#endif
+  EXPECT_NO_THROW(ANOLE_DCHECK(true));
+}
+
+// --- Contract enforcement at representative API boundaries ---
+
+TEST(CheckBoundaries, TensorShapeMismatchMentionsShapes) {
+  Tensor a = Tensor::matrix(2, 3);
+  Tensor b = Tensor::matrix(3, 2);
+  try {
+    a.add_scaled(b, 1.0f);
+    FAIL() << "Tensor::add_scaled accepted mismatched shapes";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("[2, 3]"), std::string::npos) << message;
+    EXPECT_NE(message.find("[3, 2]"), std::string::npos) << message;
+  }
+}
+
+TEST(CheckBoundaries, TensorConstructorRejectsDataShapeMismatch) {
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1.0f, 2.0f, 3.0f}),
+               std::invalid_argument);
+}
+
+TEST(CheckBoundaries, TensorRowOutOfRangeThrows) {
+  Tensor t = Tensor::matrix(2, 2);
+  EXPECT_THROW((void)t.row(2), std::invalid_argument);
+}
+
+TEST(CheckBoundaries, ModelCacheRejectsZeroCapacityAndZeroModels) {
+  EXPECT_THROW(core::ModelCache(0, core::CacheConfig{}),
+               std::invalid_argument);
+  core::CacheConfig zero_capacity;
+  zero_capacity.capacity = 0;
+  EXPECT_THROW(core::ModelCache(4, zero_capacity), std::invalid_argument);
+}
+
+TEST(CheckBoundaries, ModelCacheRejectsUnknownModelInRanking) {
+  core::CacheConfig config;
+  config.capacity = 2;
+  core::ModelCache cache(/*model_count=*/3, config);
+  // Model id 3 does not exist in a 3-model repository; before the guard
+  // this wrote past the end of the internal use-count table.
+  EXPECT_THROW((void)cache.admit({0, 3}), std::out_of_range);
+  const std::vector<std::size_t> bad_preload = {5};
+  EXPECT_THROW(cache.preload(bad_preload), std::out_of_range);
+  EXPECT_NO_THROW((void)cache.admit({0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace anole

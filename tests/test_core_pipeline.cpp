@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "core/profiler.hpp"
@@ -38,34 +39,32 @@ class PipelineTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     set_log_level(LogLevel::kError);
-    world_ = new world::World(world::make_benchmark_world(tiny_world_config()));
-    rng_ = new Rng(7);
-    report_ = new ProfilerReport();
+    world_ = std::make_unique<world::World>(
+        world::make_benchmark_world(tiny_world_config()));
+    rng_ = std::make_unique<Rng>(7);
+    report_ = std::make_unique<ProfilerReport>();
     OfflineProfiler profiler(tiny_profiler_config());
-    system_ = new AnoleSystem(profiler.run(*world_, *rng_, report_));
+    system_ = std::make_unique<AnoleSystem>(
+        profiler.run(*world_, *rng_, report_.get()));
   }
 
   static void TearDownTestSuite() {
-    delete system_;
-    delete report_;
-    delete rng_;
-    delete world_;
-    system_ = nullptr;
-    report_ = nullptr;
-    rng_ = nullptr;
-    world_ = nullptr;
+    system_.reset();
+    report_.reset();
+    rng_.reset();
+    world_.reset();
   }
 
-  static world::World* world_;
-  static AnoleSystem* system_;
-  static ProfilerReport* report_;
-  static Rng* rng_;
+  static std::unique_ptr<world::World> world_;
+  static std::unique_ptr<AnoleSystem> system_;
+  static std::unique_ptr<ProfilerReport> report_;
+  static std::unique_ptr<Rng> rng_;
 };
 
-world::World* PipelineTest::world_ = nullptr;
-AnoleSystem* PipelineTest::system_ = nullptr;
-ProfilerReport* PipelineTest::report_ = nullptr;
-Rng* PipelineTest::rng_ = nullptr;
+std::unique_ptr<world::World> PipelineTest::world_;
+std::unique_ptr<AnoleSystem> PipelineTest::system_;
+std::unique_ptr<ProfilerReport> PipelineTest::report_;
+std::unique_ptr<Rng> PipelineTest::rng_;
 
 TEST(SemanticSceneIndex, BuildsDenseClasses) {
   world::Frame a;

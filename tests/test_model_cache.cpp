@@ -183,7 +183,9 @@ TEST_P(CacheMissRateTest, SmallCacheHandlesPowerLawRankings) {
   if (capacity >= 5) {
     EXPECT_LT(cache.miss_rate(), 0.12) << "capacity=" << capacity;
   }
-  if (capacity >= 2) EXPECT_LT(cache.miss_rate(), 0.4);
+  if (capacity >= 2) {
+    EXPECT_LT(cache.miss_rate(), 0.4);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Capacities, CacheMissRateTest,
