@@ -1,14 +1,29 @@
-// Micro-benchmarks (google-benchmark) of the hot paths: tensor matmul,
-// detector forward, frame featurization + decision ranking, k-means,
-// Thompson sampling rounds, and cache admission. These measure this
-// host's actual per-operation cost, complementing the calibrated device
+// Micro-benchmarks of the hot paths.
+//
+// Default mode runs a deterministic timing suite over the parallel
+// execution layer — matmul GFLOP/s, k-means wall time, and OSP end-to-end
+// wall time, each at 1 thread and at 4 threads — verifies that the
+// results are identical at both thread counts, and writes the numbers to
+// BENCH_micro.json in the working directory.
+//
+// `bench_micro --gbench [google-benchmark flags]` instead runs the
+// google-benchmark suite (tensor matmul, detector forward, featurization,
+// k-means, Thompson sampling rounds, cache admission), which measures this
+// host's actual per-operation cost and complements the calibrated device
 // simulator used by the table/figure benches.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/common.hpp"
 #include "cluster/kmeans.hpp"
 #include "core/model_cache.hpp"
 #include "detect/grid_detector.hpp"
 #include "sampling/thompson.hpp"
+#include "util/parallel.hpp"
 #include "world/featurizer.hpp"
 #include "world/world.hpp"
 
@@ -125,6 +140,193 @@ void BM_CacheAdmit(benchmark::State& state) {
 }
 BENCHMARK(BM_CacheAdmit);
 
+// --- Deterministic JSON suite --------------------------------------------
+
+/// Thread count the parallel numbers are reported at.
+constexpr std::size_t kBenchThreads = 4;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Wall seconds for one 512x512 matmul (best of `reps`) plus a checksum
+/// of the product for cross-thread-count comparison.
+struct MatmulSample {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  float checksum = 0.0f;
+};
+
+MatmulSample time_matmul(std::size_t n, int reps) {
+  Rng rng(21);
+  Tensor a = Tensor::matrix(n, n);
+  Tensor b = Tensor::matrix(n, n);
+  for (auto& v : a.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : b.data()) v = static_cast<float>(rng.normal());
+  MatmulSample sample;
+  sample.seconds = 1e30;
+  Tensor c;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    c = matmul(a, b);
+    sample.seconds = std::min(sample.seconds, seconds_since(start));
+  }
+  const double flop = 2.0 * static_cast<double>(n) * n * n;
+  sample.gflops = flop / sample.seconds / 1e9;
+  sample.checksum = c.sum();
+  return sample;
+}
+
+struct KMeansSample {
+  double seconds = 0.0;
+  double inertia = 0.0;
+};
+
+KMeansSample time_kmeans(int reps) {
+  Rng rng(22);
+  Tensor points = Tensor::matrix(2000, 48);
+  for (auto& v : points.data()) v = static_cast<float>(rng.normal());
+  cluster::KMeansConfig config;
+  config.clusters = 16;
+  KMeansSample sample;
+  sample.seconds = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    Rng inner(23);
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = cluster::kmeans(points, config, inner);
+    sample.seconds = std::min(sample.seconds, seconds_since(start));
+    sample.inertia = result.inertia;
+  }
+  return sample;
+}
+
+struct OspSample {
+  double seconds = 0.0;
+  std::size_t models = 0;
+  double mean_f1 = 0.0;
+};
+
+/// End-to-end offline scene profiling on a reduced world (the standard
+/// profiler on the full bench world takes minutes per run; this keeps the
+/// 1-vs-N comparison to tens of seconds while exercising every stage).
+OspSample time_osp() {
+  world::WorldConfig world_config = bench::standard_world_config();
+  world_config.frames_per_clip = 60;
+  world_config.clip_scale = 0.2;
+  world::World world = world::make_benchmark_world(world_config);
+
+  core::ProfilerConfig profiler_config = bench::standard_profiler_config();
+  profiler_config.repository.target_models = 8;
+  profiler_config.sampling.budget = 400;
+
+  Rng rng(7);
+  core::OfflineProfiler profiler(profiler_config);
+  const auto start = std::chrono::steady_clock::now();
+  const core::AnoleSystem system = profiler.run(world, rng);
+  OspSample sample;
+  sample.seconds = seconds_since(start);
+  sample.models = system.repository.size();
+  for (std::size_t m = 0; m < system.repository.size(); ++m) {
+    sample.mean_f1 += system.repository.model(m).validation_f1;
+  }
+  if (sample.models > 0) sample.mean_f1 /= static_cast<double>(sample.models);
+  return sample;
+}
+
+int run_json_suite() {
+  set_log_level(LogLevel::kWarn);
+  const std::size_t default_threads = par::thread_count();
+  std::fprintf(stderr,
+               "[bench_micro] deterministic suite: default pool threads=%zu, "
+               "comparing 1 vs %zu pool threads\n",
+               default_threads, kBenchThreads);
+
+  par::set_thread_count(1);
+  const MatmulSample matmul_1t = time_matmul(512, 5);
+  const KMeansSample kmeans_1t = time_kmeans(3);
+  std::fprintf(stderr, "[bench_micro] OSP end-to-end at 1 thread...\n");
+  const OspSample osp_1t = time_osp();
+
+  par::set_thread_count(kBenchThreads);
+  const MatmulSample matmul_nt = time_matmul(512, 5);
+  const KMeansSample kmeans_nt = time_kmeans(3);
+  std::fprintf(stderr, "[bench_micro] OSP end-to-end at %zu threads...\n",
+               kBenchThreads);
+  const OspSample osp_nt = time_osp();
+  par::set_thread_count(0);
+
+  const bool matmul_identical =
+      std::memcmp(&matmul_1t.checksum, &matmul_nt.checksum, sizeof(float)) ==
+      0;
+  const bool kmeans_identical =
+      std::memcmp(&kmeans_1t.inertia, &kmeans_nt.inertia, sizeof(double)) ==
+      0;
+  const bool osp_identical =
+      osp_1t.models == osp_nt.models &&
+      std::memcmp(&osp_1t.mean_f1, &osp_nt.mean_f1, sizeof(double)) == 0;
+
+  std::FILE* out = std::fopen("BENCH_micro.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "[bench_micro] cannot open BENCH_micro.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"default_pool_threads\": %zu,\n", default_threads);
+  std::fprintf(out, "  \"pool_threads\": %zu,\n", kBenchThreads);
+  std::fprintf(out, "  \"matmul_512\": {\n");
+  std::fprintf(out, "    \"gflops_threads_1\": %.4f,\n", matmul_1t.gflops);
+  std::fprintf(out, "    \"gflops_threads_n\": %.4f,\n", matmul_nt.gflops);
+  std::fprintf(out, "    \"speedup\": %.4f,\n",
+               matmul_nt.gflops / matmul_1t.gflops);
+  std::fprintf(out, "    \"identical_results\": %s\n",
+               matmul_identical ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"kmeans_2000x48_k16\": {\n");
+  std::fprintf(out, "    \"seconds_threads_1\": %.6f,\n", kmeans_1t.seconds);
+  std::fprintf(out, "    \"seconds_threads_n\": %.6f,\n", kmeans_nt.seconds);
+  std::fprintf(out, "    \"speedup\": %.4f,\n",
+               kmeans_1t.seconds / kmeans_nt.seconds);
+  std::fprintf(out, "    \"identical_results\": %s\n",
+               kmeans_identical ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"osp_end_to_end\": {\n");
+  std::fprintf(out, "    \"seconds_threads_1\": %.3f,\n", osp_1t.seconds);
+  std::fprintf(out, "    \"seconds_threads_n\": %.3f,\n", osp_nt.seconds);
+  std::fprintf(out, "    \"speedup\": %.4f,\n",
+               osp_1t.seconds / osp_nt.seconds);
+  std::fprintf(out, "    \"models_trained\": %zu,\n", osp_1t.models);
+  std::fprintf(out, "    \"identical_results\": %s\n",
+               osp_identical ? "true" : "false");
+  std::fprintf(out, "  }\n");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+
+  std::fprintf(stderr,
+               "[bench_micro] matmul %.2f -> %.2f GFLOP/s, kmeans %.3fs -> "
+               "%.3fs, OSP %.1fs -> %.1fs; determinism %s; wrote "
+               "BENCH_micro.json\n",
+               matmul_1t.gflops, matmul_nt.gflops, kmeans_1t.seconds,
+               kmeans_nt.seconds, osp_1t.seconds, osp_nt.seconds,
+               (matmul_identical && kmeans_identical && osp_identical)
+                   ? "OK"
+                   : "FAILED");
+  return (matmul_identical && kmeans_identical && osp_identical) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--gbench") == 0) {
+    // Shift out the --gbench flag so google-benchmark sees its own flags.
+    for (int i = 1; i + 1 < argc; ++i) argv[i] = argv[i + 1];
+    --argc;
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+  }
+  return run_json_suite();
+}

@@ -14,6 +14,10 @@ Rules (each failure prints `file:line: rule-id: message`):
                        headers stay self-contained.
   no-cout              std::cout is banned outside examples/ and bench/;
                        library code reports through util/log.hpp.
+  no-raw-thread        std::thread / std::jthread / std::async are banned
+                       outside src/util/parallel.*; all parallelism goes
+                       through the deterministic pool (util/parallel.hpp)
+                       so results stay reproducible at any thread count.
 
 Usage: anole_lint.py [repo-root]   (exits non-zero on any finding)
 """
@@ -33,6 +37,7 @@ RE_NAKED_DELETE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?")
 RE_DELETED_FN = re.compile(r"=\s*delete\b")
 RE_USING_NAMESPACE = re.compile(r"\busing\s+namespace\b")
 RE_COUT = re.compile(r"\bstd\s*::\s*cout\b")
+RE_RAW_THREAD = re.compile(r"\bstd\s*::\s*(?:thread|jthread|async)\b")
 RE_INCLUDE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
 
 
@@ -100,6 +105,7 @@ def lint_file(path: Path, rel: Path):
     is_header = path.suffix in {".hpp", ".h"}
     in_tensor = rel_str.startswith("src/tensor/")
     cout_allowed = rel_str.startswith(("examples/", "bench/"))
+    raw_thread_allowed = rel_str.startswith("src/util/parallel.")
 
     includes = []  # (line_number, include path) in order
     for number, raw, line in iter_code_lines(path):
@@ -124,6 +130,10 @@ def lint_file(path: Path, rel: Path):
         if not cout_allowed and RE_COUT.search(line):
             findings.append((number, "no-cout",
                              "std::cout banned here; use util/log.hpp"))
+        if not raw_thread_allowed and RE_RAW_THREAD.search(line):
+            findings.append((number, "no-raw-thread",
+                             "raw std::thread/std::async banned; use the "
+                             "deterministic pool in util/parallel.hpp"))
 
     if path.suffix == ".cpp" and rel_str.startswith("src/"):
         own_header = path.with_suffix(".hpp")

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full correctness gate: lint, Release build + tests, ASan+UBSan build +
-# tests. Non-zero exit on the first failure. Run from anywhere.
+# tests, TSan build + tests. Non-zero exit on the first failure. Run from
+# anywhere.
 set -euo pipefail
 
 repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -8,18 +9,26 @@ cd "$repo_root"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/3] repo lint"
+echo "==> [1/4] repo lint"
 python3 scripts/anole_lint.py .
 
-echo "==> [2/3] Release build + tests (warnings are errors)"
+echo "==> [2/4] Release build + tests (warnings are errors)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DANOLE_WERROR=ON
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-echo "==> [3/3] ASan+UBSan Debug build + tests"
+echo "==> [3/4] ASan+UBSan Debug build + tests"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   "-DANOLE_SANITIZE=address;undefined" -DANOLE_WERROR=ON
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "==> [4/4] TSan build + tests (thread pool race check)"
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DANOLE_SANITIZE=thread -DANOLE_WERROR=ON
+cmake --build build-tsan -j "$jobs"
+# ANOLE_THREADS=4 so the pool actually runs multi-threaded even on
+# single-core CI hosts: TSan has races to look at either way.
+ANOLE_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$jobs"
 
 echo "check.sh: all gates passed"

@@ -4,8 +4,16 @@
 #include <limits>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace anole::cluster {
+namespace {
+
+/// Points per parallel chunk for the O(n*k*d) scans. Fixed (thread-count
+/// independent) so chunked reductions stay deterministic.
+constexpr std::size_t kPointGrain = 64;
+
+}  // namespace
 
 double squared_distance(std::span<const float> a, std::span<const float> b) {
   ANOLE_CHECK_EQ(a.size(), b.size(), "squared_distance: length mismatch");
@@ -53,16 +61,19 @@ KMeansResult kmeans(const Tensor& points, const KMeansConfig& config,
   result.centroids = Tensor::matrix(k, d);
 
   // --- k-means++ seeding ---
+  // The distance scans fan out over points (disjoint writes); the random
+  // draws stay on the calling thread, so the seeding sequence is
+  // independent of the thread count.
   std::vector<double> min_distance(n, std::numeric_limits<double>::max());
   std::size_t first = rng.uniform_index(n);
   std::copy(points.row(first).begin(), points.row(first).end(),
             result.centroids.row(0).begin());
   for (std::size_t c = 1; c < k; ++c) {
-    for (std::size_t i = 0; i < n; ++i) {
+    par::parallel_for(0, n, kPointGrain, [&](std::size_t i) {
       const double dist =
           squared_distance(points.row(i), result.centroids.row(c - 1));
       min_distance[i] = std::min(min_distance[i], dist);
-    }
+    });
     double total = 0.0;
     for (double v : min_distance) total += v;
     std::size_t chosen;
@@ -78,15 +89,24 @@ KMeansResult kmeans(const Tensor& points, const KMeansConfig& config,
   // --- Lloyd iterations ---
   result.assignments.assign(n, 0);
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
-    bool changed = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t nearest =
-          nearest_centroid(result.centroids, points.row(i));
-      if (nearest != result.assignments[i]) {
-        result.assignments[i] = nearest;
-        changed = true;
-      }
-    }
+    // Assignment is the O(n*k*d) step: parallel over points, counting
+    // changes per chunk with an ordered (deterministic) combine.
+    const std::size_t changes = par::parallel_reduce(
+        std::size_t{0}, n, kPointGrain, std::size_t{0},
+        [&](std::size_t lo, std::size_t hi) {
+          std::size_t chunk_changes = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t nearest =
+                nearest_centroid(result.centroids, points.row(i));
+            if (nearest != result.assignments[i]) {
+              result.assignments[i] = nearest;
+              ++chunk_changes;
+            }
+          }
+          return chunk_changes;
+        },
+        [](std::size_t acc, std::size_t partial) { return acc + partial; });
+    bool changed = changes > 0;
     result.iterations = iter + 1;
 
     // Recompute centroids; empty clusters grab the point furthest from
@@ -127,11 +147,17 @@ KMeansResult kmeans(const Tensor& points, const KMeansConfig& config,
     if (config.early_stop && !changed) break;
   }
 
-  result.inertia = 0.0;
-  for (std::size_t i = 0; i < n; ++i) {
-    result.inertia += squared_distance(
-        points.row(i), result.centroids.row(result.assignments[i]));
-  }
+  result.inertia = par::parallel_reduce(
+      std::size_t{0}, n, kPointGrain, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double partial = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          partial += squared_distance(
+              points.row(i), result.centroids.row(result.assignments[i]));
+        }
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include "nn/loss.hpp"
 #include "nn/serialize.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 #include "world/featurizer.hpp"
 
 namespace anole::core {
@@ -25,8 +26,8 @@ DecisionDataset build_decision_dataset(ModelRepository& repository,
   sampling::RandomSceneSampler random(sizes);
 
   const world::FrameFeaturizer featurizer;
-  std::vector<float> feature_rows;
-  std::vector<float> target_rows;
+  FloatBuffer feature_rows;
+  FloatBuffer target_rows;
   std::size_t samples = 0;
 
   for (std::size_t round = 0; round < config.budget; ++round) {
@@ -54,11 +55,13 @@ DecisionDataset build_decision_dataset(ModelRepository& repository,
     // per-frame best, weighted by their F1 so clearly better models get
     // more label mass.
     std::vector<double> scores(n_models, 0.0);
-    for (std::size_t m = 0; m < n_models; ++m) {
+    // Each model is a distinct network, so scoring them on the sampled
+    // frame fans out over the pool (disjoint writes, no rng draws).
+    par::parallel_for(0, n_models, 1, [&](std::size_t m) {
       scores[m] = detect::match_detections(
                       repository.detector(m).detect(frame), frame.objects)
                       .f1();
-    }
+    });
     const std::size_t best = static_cast<std::size_t>(
         std::max_element(scores.begin(), scores.end()) - scores.begin());
     const double bar = std::max(config.suitability_f1 * scores[best],

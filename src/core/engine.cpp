@@ -39,20 +39,42 @@ AnoleEngine::AnoleEngine(AnoleSystem& system, const CacheConfig& cache_config)
     : AnoleEngine(system, EngineConfig{cache_config, 0.0, 0.0}) {}
 
 EngineResult AnoleEngine::process(const world::Frame& frame) {
-  EngineResult result;
-  // MSS: suitability probabilities for this frame, optionally smoothed
-  // over time.
   const Tensor descriptor = featurizer_.featurize(frame);
   const Tensor probs = system_->decision->suitability(descriptor);
+  return process_with_suitability(frame, probs.row(0));
+}
+
+std::vector<EngineResult> AnoleEngine::process_batch(
+    const std::vector<const world::Frame*>& frames) {
+  std::vector<EngineResult> results;
+  if (frames.empty()) return results;
+  // MSS, hoisted: one featurize_batch and one decision-model forward for
+  // the whole batch. Each matmul output row depends only on its own input
+  // row, so row i of `probs` is bitwise identical to what process() would
+  // have computed for frame i alone.
+  const Tensor descriptors = featurizer_.featurize_batch(frames);
+  const Tensor probs = system_->decision->suitability(descriptors);
+  results.reserve(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    results.push_back(process_with_suitability(*frames[i], probs.row(i)));
+  }
+  return results;
+}
+
+EngineResult AnoleEngine::process_with_suitability(
+    const world::Frame& frame, std::span<const float> probs) {
+  EngineResult result;
+  // MSS tail: optional temporal smoothing of the suitability vector.
   const std::size_t n = system_->repository.size();
+  ANOLE_CHECK_EQ(probs.size(), n,
+                 "AnoleEngine: suitability width != repository size");
   if (smoothed_suitability_.size() != n) {
-    smoothed_suitability_.assign(probs.row(0).begin(), probs.row(0).end());
+    smoothed_suitability_.assign(probs.begin(), probs.end());
   } else {
     const double alpha = config_.suitability_smoothing;
-    auto row = probs.row(0);
     for (std::size_t m = 0; m < n; ++m) {
       smoothed_suitability_[m] =
-          alpha * smoothed_suitability_[m] + (1.0 - alpha) * row[m];
+          alpha * smoothed_suitability_[m] + (1.0 - alpha) * probs[m];
     }
   }
   std::vector<std::size_t> ranking(n);

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/decision_model.hpp"
@@ -65,6 +66,14 @@ class AnoleEngine {
 
   EngineResult process(const world::Frame& frame);
 
+  /// Processes `frames` in stream order. Featurization and the decision
+  /// model's embedding run once over the whole batch (parallel, batched
+  /// matmuls); the stateful per-frame stages (temporal smoothing, cache
+  /// admission, inference) then run sequentially, so the results are
+  /// bitwise identical to calling process() frame by frame.
+  std::vector<EngineResult> process_batch(
+      const std::vector<const world::Frame*>& frames);
+
   const ModelCache& cache() const { return cache_; }
   std::size_t model_switches() const { return switches_; }
   std::size_t frames_processed() const { return frames_; }
@@ -78,6 +87,11 @@ class AnoleEngine {
   const std::vector<std::size_t>& top1_counts() const { return top1_counts_; }
 
  private:
+  /// Shared tail of process()/process_batch(): everything after the
+  /// suitability probabilities for one frame are known.
+  EngineResult process_with_suitability(const world::Frame& frame,
+                                        std::span<const float> probs);
+
   AnoleSystem* system_;
   EngineConfig config_;
   ModelCache cache_;

@@ -5,6 +5,7 @@
 
 #include "util/check.hpp"
 #include "util/log.hpp"
+#include "util/parallel.hpp"
 #include "world/featurizer.hpp"
 
 namespace anole::core {
@@ -103,17 +104,44 @@ ModelRepository train_model_repository(
   }
 
   // Model training with multi-level clustering (Algorithm 1 lines 4-13).
-  std::set<std::vector<std::size_t>> trained_scene_sets;
+  //
+  // Parallel structure, scheduled for determinism: every random draw
+  // happens on this thread in a fixed order (one pre-split Rng per
+  // clustering granularity, one per candidate detector), after which the
+  // expensive work — the k-means sweep and the per-candidate detector
+  // training — fans out over the pool. Acceptance then walks the
+  // candidates of each granularity in cluster order, so the repository's
+  // contents are independent of how tasks were scheduled.
   const std::size_t max_k =
       std::min(config.max_cluster_k, active_classes.size());
+  std::vector<Rng> kmeans_rngs;
+  for (std::size_t k = 2; k <= max_k; ++k) kmeans_rngs.push_back(rng.split());
+  std::vector<cluster::KMeansResult> clusterings(kmeans_rngs.size());
+  par::parallel_for(0, kmeans_rngs.size(), 1, [&](std::size_t idx) {
+    cluster::KMeansConfig kmeans_config;
+    kmeans_config.clusters = idx + 2;
+    clusterings[idx] = cluster::kmeans(points, kmeans_config,
+                                       kmeans_rngs[idx]);
+  });
+
+  struct Candidate {
+    std::vector<std::size_t> member_classes;
+    std::vector<const world::Frame*> train;
+    std::vector<const world::Frame*> val;
+    detect::GridDetectorConfig detector_config;
+    Rng rng{0};
+    std::size_t cluster_index = 0;
+    std::unique_ptr<detect::GridDetector> detector;
+    double f1 = 0.0;
+  };
+
+  std::set<std::vector<std::size_t>> trained_scene_sets;
   for (std::size_t k = 2;
        k <= max_k && repository.size() < config.target_models; ++k) {
-    cluster::KMeansConfig kmeans_config;
-    kmeans_config.clusters = k;
-    const auto clustering = cluster::kmeans(points, kmeans_config, rng);
+    const auto& clustering = clusterings[k - 2];
 
-    for (std::size_t j = 0;
-         j < k && repository.size() < config.target_models; ++j) {
+    std::vector<Candidate> candidates;
+    for (std::size_t j = 0; j < k; ++j) {
       std::vector<std::size_t> member_classes;
       for (std::size_t i = 0; i < active_classes.size(); ++i) {
         if (clustering.assignments[i] == j) {
@@ -138,36 +166,56 @@ ModelRepository train_model_repository(
         continue;
       }
 
-      detect::GridDetectorConfig detector_config = config.detector_config;
+      Candidate candidate;
+      candidate.detector_config = config.detector_config;
       // Built via append rather than operator+ chains: GCC 12 -O2 emits a
       // spurious -Wrestrict on `"literal" + std::string&&`.
       std::string model_name = "M";
-      model_name += std::to_string(repository.size() + 1);
+      model_name +=
+          std::to_string(repository.size() + candidates.size() + 1);
       model_name += "(k=";
       model_name += std::to_string(k);
       model_name += ",c=";
       model_name += std::to_string(j);
       model_name += ")";
-      detector_config.name = std::move(model_name);
-      auto detector = std::make_unique<detect::GridDetector>(
-          detector_config, rng,
-          cluster_train.front()->grid_size);
-      detect::train_detector(*detector, cluster_train, train_config, rng);
-      const double f1 = detect::evaluate_f1(*detector, cluster_val);
+      candidate.detector_config.name = std::move(model_name);
+      candidate.member_classes = std::move(member_classes);
+      candidate.train = std::move(cluster_train);
+      candidate.val = std::move(cluster_val);
+      candidate.rng = rng.split();
+      candidate.cluster_index = j;
+      candidates.push_back(std::move(candidate));
+    }
+
+    // Train this granularity's candidates concurrently, each on its own
+    // Rng stream. At most the final granularity trains a few models the
+    // serial sweep would have skipped once the target count was reached.
+    par::parallel_for(0, candidates.size(), 1, [&](std::size_t c) {
+      Candidate& candidate = candidates[c];
+      candidate.detector = std::make_unique<detect::GridDetector>(
+          candidate.detector_config, candidate.rng,
+          candidate.train.front()->grid_size);
+      detect::train_detector(*candidate.detector, candidate.train,
+                             train_config, candidate.rng);
+      candidate.f1 = detect::evaluate_f1(*candidate.detector, candidate.val);
+    });
+
+    for (Candidate& candidate : candidates) {
+      if (repository.size() >= config.target_models) break;
       if (config.verbose) {
-        log_info("Algorithm1 k=", k, " cluster=", j, " scenes=",
-                 member_classes.size(), " train=", cluster_train.size(),
-                 " val_f1=", f1);
+        log_info("Algorithm1 k=", k, " cluster=", candidate.cluster_index,
+                 " scenes=", candidate.member_classes.size(), " train=",
+                 candidate.train.size(), " val_f1=", candidate.f1);
       }
-      if (f1 > config.acceptance_threshold) {
+      if (candidate.f1 > config.acceptance_threshold) {
         SceneModel model;
-        model.detector = std::move(detector);
-        model.scene_classes = member_classes;
-        model.training_frames = std::move(cluster_train);
-        model.validation_frames = std::move(cluster_val);
-        model.validation_f1 = f1;
+        model.detector = std::move(candidate.detector);
+        model.scene_classes = std::move(candidate.member_classes);
+        model.training_frames = std::move(candidate.train);
+        model.validation_frames = std::move(candidate.val);
+        model.validation_f1 = candidate.f1;
         model.cluster_k = k;
-        model.name = detector_config.name;
+        model.name = candidate.detector_config.name;
         repository.add(std::move(model));
       }
     }

@@ -1,10 +1,11 @@
 #include "tensor/tensor.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <numeric>
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace anole {
 namespace {
@@ -21,6 +22,33 @@ void require_same_shape(const Tensor& a, const Tensor& b,
   ANOLE_CHECK(a.shape() == b.shape(), op_name, ": shape mismatch ",
               shape_to_string(a.shape()), " vs ",
               shape_to_string(b.shape()));
+}
+
+// Cache blocking for the accumulating matmul kernels: a kJBlock-float
+// segment of the B and C rows (1 KiB) stays in L1 while a kKBlock-row
+// panel of B is reused across every row of a thread's chunk. Accumulation
+// over kk stays in ascending order for every output element, so blocking
+// and row-parallelism never change results.
+constexpr std::size_t kJBlock = 256;
+constexpr std::size_t kKBlock = 64;
+/// Rows of C per parallel chunk.
+constexpr std::size_t kRowGrain = 16;
+/// Elementwise ops: parallel grain and the size below which the pool
+/// dispatch overhead is not worth paying.
+constexpr std::size_t kElemGrain = 16384;
+constexpr std::size_t kElemParallelMin = 32768;
+/// Whole-tensor reductions always use this fixed grain — the chunked
+/// combine order is part of the numeric result, so it must not depend on
+/// tensor size heuristics or the thread count.
+constexpr std::size_t kReduceGrain = 4096;
+
+template <typename Fn>
+void for_each_index(std::size_t n, Fn&& fn) {
+  if (n < kElemParallelMin) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  par::parallel_for(0, n, kElemGrain, std::forward<Fn>(fn));
 }
 
 }  // namespace
@@ -42,11 +70,30 @@ Tensor::Tensor(Shape shape)
 Tensor::Tensor(Shape shape, float fill)
     : shape_(std::move(shape)), data_(shape_size(shape_), fill) {}
 
-Tensor::Tensor(Shape shape, std::vector<float> data)
+Tensor::Tensor(Shape shape, FloatBuffer data)
     : shape_(std::move(shape)), data_(std::move(data)) {
   ANOLE_CHECK_EQ(data_.size(), shape_size(shape_),
                  "Tensor: data size does not match shape ",
                  shape_to_string(shape_));
+}
+
+Tensor::Tensor(Shape shape, const std::vector<float>& data)
+    : shape_(std::move(shape)), data_(data.begin(), data.end()) {
+  ANOLE_CHECK_EQ(data_.size(), shape_size(shape_),
+                 "Tensor: data size does not match shape ",
+                 shape_to_string(shape_));
+}
+
+Tensor::Tensor(Shape shape, std::initializer_list<float> data)
+    : Tensor(std::move(shape), FloatBuffer(data)) {}
+
+Tensor::Tensor(UninitializedTag, Shape shape) : shape_(std::move(shape)) {
+  // resize() default-initializes through DefaultInitAllocator: no fill.
+  data_.resize(shape_size(shape_));
+}
+
+Tensor Tensor::uninitialized(Shape shape) {
+  return Tensor(UninitializedTag{}, std::move(shape));
 }
 
 Tensor Tensor::matrix(std::size_t rows, std::size_t cols, float fill) {
@@ -54,12 +101,12 @@ Tensor Tensor::matrix(std::size_t rows, std::size_t cols, float fill) {
 }
 
 Tensor Tensor::vector(std::initializer_list<float> values) {
-  return Tensor(Shape{values.size()}, std::vector<float>(values));
+  return Tensor(Shape{values.size()}, FloatBuffer(values));
 }
 
 Tensor Tensor::vector(std::vector<float> values) {
   const std::size_t n = values.size();
-  return Tensor(Shape{n}, std::move(values));
+  return Tensor(Shape{n}, FloatBuffer(values.begin(), values.end()));
 }
 
 std::size_t Tensor::dim(std::size_t i) const {
@@ -100,41 +147,51 @@ Tensor Tensor::reshaped(Shape new_shape) const {
 }
 
 void Tensor::fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  for_each_index(data_.size(), [&](std::size_t i) { data_[i] = value; });
 }
 
 Tensor& Tensor::operator+=(const Tensor& other) {
   require_same_shape(*this, other, "operator+=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  for_each_index(data_.size(),
+                 [&](std::size_t i) { data_[i] += other.data_[i]; });
   return *this;
 }
 
 Tensor& Tensor::operator-=(const Tensor& other) {
   require_same_shape(*this, other, "operator-=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  for_each_index(data_.size(),
+                 [&](std::size_t i) { data_[i] -= other.data_[i]; });
   return *this;
 }
 
 Tensor& Tensor::operator*=(const Tensor& other) {
   require_same_shape(*this, other, "operator*=");
-  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  for_each_index(data_.size(),
+                 [&](std::size_t i) { data_[i] *= other.data_[i]; });
   return *this;
 }
 
 Tensor& Tensor::operator*=(float scalar) {
-  for (float& v : data_) v *= scalar;
+  for_each_index(data_.size(), [&](std::size_t i) { data_[i] *= scalar; });
   return *this;
 }
 
 void Tensor::add_scaled(const Tensor& other, float scale) {
   require_same_shape(*this, other, "add_scaled");
-  for (std::size_t i = 0; i < data_.size(); ++i) {
+  for_each_index(data_.size(), [&](std::size_t i) {
     data_[i] += scale * other.data_[i];
-  }
+  });
 }
 
 float Tensor::sum() const {
-  return std::accumulate(data_.begin(), data_.end(), 0.0f);
+  return par::parallel_reduce(
+      std::size_t{0}, data_.size(), kReduceGrain, 0.0f,
+      [&](std::size_t lo, std::size_t hi) {
+        float partial = 0.0f;
+        for (std::size_t i = lo; i < hi; ++i) partial += data_[i];
+        return partial;
+      },
+      [](float acc, float partial) { return acc + partial; });
 }
 
 float Tensor::mean() const {
@@ -143,14 +200,29 @@ float Tensor::mean() const {
 }
 
 float Tensor::abs_max() const {
-  float m = 0.0f;
-  for (float v : data_) m = std::max(m, std::abs(v));
-  return m;
+  return par::parallel_reduce(
+      std::size_t{0}, data_.size(), kReduceGrain, 0.0f,
+      [&](std::size_t lo, std::size_t hi) {
+        float partial = 0.0f;
+        for (std::size_t i = lo; i < hi; ++i) {
+          partial = std::max(partial, std::abs(data_[i]));
+        }
+        return partial;
+      },
+      [](float acc, float partial) { return std::max(acc, partial); });
 }
 
 float Tensor::l2_norm() const {
-  double sum_sq = 0.0;
-  for (float v : data_) sum_sq += static_cast<double>(v) * v;
+  const double sum_sq = par::parallel_reduce(
+      std::size_t{0}, data_.size(), kReduceGrain, 0.0,
+      [&](std::size_t lo, std::size_t hi) {
+        double partial = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          partial += static_cast<double>(data_[i]) * data_[i];
+        }
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
   return static_cast<float>(std::sqrt(sum_sq));
 }
 
@@ -174,20 +246,32 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
-  Tensor c = Tensor::matrix(m, n);
+  Tensor c = Tensor::uninitialized(Shape{m, n});
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  // i-k-j loop order keeps the inner loop contiguous in B and C.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  // Blocked i-k-j: the inner loop stays contiguous in B and C; each output
+  // row is produced entirely by one chunk, with kk ascending.
+  par::parallel_for_chunks(0, m, kRowGrain, [&](std::size_t ilo,
+                                                std::size_t ihi) {
+    for (std::size_t jb = 0; jb < n; jb += kJBlock) {
+      const std::size_t jhi = std::min(n, jb + kJBlock);
+      for (std::size_t kb = 0; kb < k; kb += kKBlock) {
+        const std::size_t khi = std::min(k, kb + kKBlock);
+        for (std::size_t i = ilo; i < ihi; ++i) {
+          float* crow = pc + i * n;
+          if (kb == 0) std::fill(crow + jb, crow + jhi, 0.0f);
+          const float* arow = pa + i * k;
+          for (std::size_t kk = kb; kk < khi; ++kk) {
+            const float aik = arow[kk];
+            if (aik == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            for (std::size_t j = jb; j < jhi; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -201,20 +285,31 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
   const std::size_t k = a.rows();
   const std::size_t m = a.cols();
   const std::size_t n = b.cols();
-  Tensor c = Tensor::matrix(m, n);
+  Tensor c = Tensor::uninitialized(Shape{m, n});
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  for (std::size_t kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const float aik = arow[i];
-      if (aik == 0.0f) continue;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+  // Parallel over rows of C (columns of A). A is read with stride m, so kk
+  // blocking keeps the touched A elements and the B panel resident.
+  par::parallel_for_chunks(0, m, kRowGrain, [&](std::size_t ilo,
+                                                std::size_t ihi) {
+    for (std::size_t jb = 0; jb < n; jb += kJBlock) {
+      const std::size_t jhi = std::min(n, jb + kJBlock);
+      for (std::size_t kb = 0; kb < k; kb += kKBlock) {
+        const std::size_t khi = std::min(k, kb + kKBlock);
+        for (std::size_t i = ilo; i < ihi; ++i) {
+          float* crow = pc + i * n;
+          if (kb == 0) std::fill(crow + jb, crow + jhi, 0.0f);
+          for (std::size_t kk = kb; kk < khi; ++kk) {
+            const float aik = pa[kk * m + i];
+            if (aik == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            for (std::size_t j = jb; j < jhi; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -228,20 +323,25 @@ Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.rows();
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
-  Tensor c = Tensor::matrix(m, n);
+  Tensor c = Tensor::uninitialized(Shape{m, n});
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   float* pc = c.data().data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float dot = 0.0f;
-      for (std::size_t kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
-      crow[j] = dot;
+  // Dot-product form: both operand rows are contiguous, every output
+  // element is written exactly once (no zero-fill needed at all).
+  par::parallel_for_chunks(0, m, kRowGrain, [&](std::size_t ilo,
+                                                std::size_t ihi) {
+    for (std::size_t i = ilo; i < ihi; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float* brow = pb + j * k;
+        float dot = 0.0f;
+        for (std::size_t kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+        crow[j] = dot;
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -271,14 +371,17 @@ void add_row_broadcast(Tensor& matrix, const Tensor& row_vector) {
               "add_row_broadcast: bias shape mismatch ",
               shape_to_string(row_vector.shape()), " for matrix ",
               shape_to_string(matrix.shape()));
-  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+  par::parallel_for(0, matrix.rows(), kRowGrain, [&](std::size_t r) {
     auto row = matrix.row(r);
     for (std::size_t c = 0; c < row.size(); ++c) row[c] += row_vector[c];
-  }
+  });
 }
 
 Tensor sum_rows(const Tensor& matrix) {
   ANOLE_CHECK_EQ(matrix.rank(), 2u, "sum_rows: rank != 2");
+  // Serial on purpose: accumulates across rows into a [cols] vector whose
+  // width is small everywhere in this codebase, so a parallel version
+  // would spend more on partial buffers than the scan costs.
   Tensor out(Shape{matrix.cols()});
   for (std::size_t r = 0; r < matrix.rows(); ++r) {
     auto row = matrix.row(r);
@@ -289,12 +392,12 @@ Tensor sum_rows(const Tensor& matrix) {
 
 Tensor transpose(const Tensor& matrix) {
   ANOLE_CHECK_EQ(matrix.rank(), 2u, "transpose: rank != 2");
-  Tensor out = Tensor::matrix(matrix.cols(), matrix.rows());
-  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+  Tensor out = Tensor::uninitialized(Shape{matrix.cols(), matrix.rows()});
+  par::parallel_for(0, matrix.rows(), kRowGrain, [&](std::size_t r) {
     for (std::size_t c = 0; c < matrix.cols(); ++c) {
       out.at(c, r) = matrix.at(r, c);
     }
-  }
+  });
   return out;
 }
 

@@ -2,10 +2,17 @@
 // neural-network library (src/nn): it provides exactly the operations the
 // training stack needs (matmul, transposed matmuls, elementwise arithmetic,
 // row reductions) with shape checking on every operation.
+//
+// Threading: the matmul kernels, large elementwise operations, and whole-
+// tensor reductions run on the shared util/parallel.hpp pool. All of them
+// honour its determinism contract (fixed chunk boundaries, ordered
+// combines), so every operation here is bitwise reproducible at any thread
+// count.
 #pragma once
 
 #include <cstddef>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +25,39 @@ namespace anole {
 using Shape = std::vector<std::size_t>;
 
 std::string shape_to_string(const Shape& shape);
+
+namespace detail {
+
+/// std::allocator whose value-less construct() default-initializes (i.e.
+/// leaves floats uninitialized) instead of value-initializing. Lets
+/// Tensor::uninitialized skip the zero-fill of buffers that are about to
+/// be overwritten entirely (matmul outputs write every element).
+template <typename T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+
+  using std::allocator<T>::allocator;
+
+  template <typename U>
+  void construct(U* ptr) noexcept(
+      std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(ptr)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* ptr, Args&&... args) {
+    ::new (static_cast<void*>(ptr)) U(std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace detail
+
+/// Backing storage of a Tensor. Element access behaves exactly like
+/// std::vector<float>; only resize() without a value differs (default-
+/// rather than value-initialization).
+using FloatBuffer = std::vector<float, detail::DefaultInitAllocator<float>>;
 
 /// Dense row-major float tensor with value semantics.
 ///
@@ -38,7 +78,16 @@ class Tensor {
   Tensor(Shape shape, float fill);
 
   /// Tensor adopting `data`, which must have exactly shape-many elements.
-  Tensor(Shape shape, std::vector<float> data);
+  Tensor(Shape shape, FloatBuffer data);
+
+  /// Same, copying from a plain std::vector<float> or a braced list.
+  Tensor(Shape shape, const std::vector<float>& data);
+  Tensor(Shape shape, std::initializer_list<float> data);
+
+  /// Tensor whose elements are NOT initialized. For kernel outputs that
+  /// overwrite every element; never hand one to code that reads before
+  /// writing.
+  static Tensor uninitialized(Shape shape);
 
   /// 2-D convenience factory.
   static Tensor matrix(std::size_t rows, std::size_t cols, float fill = 0.0f);
@@ -91,7 +140,7 @@ class Tensor {
   /// this += scale * other (axpy).
   void add_scaled(const Tensor& other, float scale);
 
-  /// Sum of all elements.
+  /// Sum of all elements (deterministically chunked; see util/parallel.hpp).
   float sum() const;
 
   /// Mean of all elements (0 if empty).
@@ -108,8 +157,11 @@ class Tensor {
   std::span<const float> row(std::size_t r) const;
 
  private:
+  struct UninitializedTag {};
+  Tensor(UninitializedTag, Shape shape);
+
   Shape shape_;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 /// C = A * B for rank-2 tensors, [m,k] x [k,n] -> [m,n].

@@ -1,10 +1,19 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace anole {
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Serializes sink writes so concurrent pool tasks never interleave
+/// characters of two messages.
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -21,12 +30,15 @@ const char* level_name(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  std::lock_guard<std::mutex> lock(sink_mutex());
   std::cerr << "[" << level_name(level) << "] " << message << '\n';
 }
 

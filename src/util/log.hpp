@@ -9,8 +9,9 @@ namespace anole {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Sets / reads the global minimum level (process-wide, not thread-safe by
-/// design: the library is single-threaded).
+/// Sets / reads the global minimum level. Both are thread-safe (the level
+/// is atomic) so tasks running on the util/parallel.hpp pool can log
+/// concurrently; messages are emitted whole, never interleaved.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 

@@ -1,0 +1,141 @@
+// Deterministic parallel execution primitives shared by every hot loop.
+//
+// A single lazily-initialized persistent thread pool backs `parallel_for`
+// and `parallel_reduce`. The pool size comes from the ANOLE_THREADS
+// environment variable (first use), `std::thread::hardware_concurrency()`
+// otherwise, and can be overridden at runtime with `set_thread_count`.
+//
+// Determinism contract: work is split into chunks whose boundaries depend
+// only on (begin, end, grain) — never on the thread count — and
+// `parallel_reduce` combines per-chunk partial results in ascending chunk
+// order on the calling thread. Any computation whose chunks write disjoint
+// outputs (parallel_for) or that is expressed as an ordered reduction
+// (parallel_reduce) therefore produces bitwise-identical results whether
+// the pool has 1 thread or 64. Nested calls from inside a pool worker run
+// inline (serially) with the same chunk boundaries, so nesting cannot
+// change results either — it only limits extra parallelism.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace anole::par {
+
+/// Number of threads the pool will use (>= 1). Never spawns the pool.
+std::size_t thread_count();
+
+/// Overrides the pool size; 1 means fully serial execution. Passing 0
+/// restores the default (ANOLE_THREADS, else hardware concurrency).
+/// Joins any existing workers; must not be called from inside a task.
+void set_thread_count(std::size_t count);
+
+/// True when the calling thread is a pool worker executing a task.
+bool in_parallel_region();
+
+namespace detail {
+
+/// Runs fn(chunk) for every chunk in [0, chunks) on the pool (the caller
+/// participates) and blocks until all chunks finished. Rethrows the first
+/// exception thrown by a chunk. Must not be called from a pool worker.
+void run_chunks(std::size_t chunks,
+                const std::function<void(std::size_t)>& fn);
+
+inline std::size_t chunk_count(std::size_t begin, std::size_t end,
+                               std::size_t grain) {
+  if (end <= begin) return 0;
+  const std::size_t g = grain == 0 ? 1 : grain;
+  return (end - begin + g - 1) / g;
+}
+
+/// Grain used by the convenience overloads. A function of the range size
+/// only (never the thread count), so chunk boundaries stay deterministic.
+inline std::size_t default_grain(std::size_t begin, std::size_t end) {
+  const std::size_t n = end > begin ? end - begin : 0;
+  return std::max<std::size_t>(1, n / 64);
+}
+
+}  // namespace detail
+
+/// Calls fn(i) for every i in [begin, end), split into grain-sized chunks
+/// executed across the pool. fn must write only per-index (disjoint) state.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Fn&& fn) {
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t chunks = detail::chunk_count(begin, end, g);
+  if (chunks == 0) return;
+  if (chunks == 1 || thread_count() == 1 || in_parallel_region()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  detail::run_chunks(chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * g;
+    const std::size_t hi = std::min(end, lo + g);
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+/// parallel_for with an automatic (range-size-derived) grain.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+  parallel_for(begin, end, detail::default_grain(begin, end),
+               std::forward<Fn>(fn));
+}
+
+/// Calls fn(lo, hi) once per chunk; chunk boundaries are the same as
+/// parallel_for's. Useful when per-chunk setup is expensive.
+template <typename Fn>
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         std::size_t grain, Fn&& fn) {
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t chunks = detail::chunk_count(begin, end, g);
+  if (chunks == 0) return;
+  if (chunks == 1 || thread_count() == 1 || in_parallel_region()) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * g;
+      fn(lo, std::min(end, lo + g));
+    }
+    return;
+  }
+  detail::run_chunks(chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * g;
+    fn(lo, std::min(end, lo + g));
+  });
+}
+
+/// Deterministic reduction: map_chunk(lo, hi) produces one partial result
+/// per chunk (in parallel); partials are combined with
+/// acc = combine(acc, partial) in ascending chunk order on the calling
+/// thread. Because chunk boundaries depend only on (begin, end, grain) and
+/// the combine order is fixed, the result is bitwise identical at any
+/// thread count — including the serial path, which uses the same chunking.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T identity, MapFn&& map_chunk, CombineFn&& combine) {
+  const std::size_t g = grain == 0 ? 1 : grain;
+  const std::size_t chunks = detail::chunk_count(begin, end, g);
+  if (chunks == 0) return identity;
+  if (chunks == 1 || thread_count() == 1 || in_parallel_region()) {
+    T acc = std::move(identity);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = begin + c * g;
+      acc = combine(std::move(acc), map_chunk(lo, std::min(end, lo + g)));
+    }
+    return acc;
+  }
+  std::vector<T> partials(chunks, identity);
+  detail::run_chunks(chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * g;
+    partials[c] = map_chunk(lo, std::min(end, lo + g));
+  });
+  T acc = std::move(identity);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    acc = combine(std::move(acc), std::move(partials[c]));
+  }
+  return acc;
+}
+
+}  // namespace anole::par

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.hpp"
+
 namespace anole::world {
 namespace {
 
@@ -56,10 +58,11 @@ Tensor FrameFeaturizer::featurize(const Frame& frame) const {
 
 Tensor FrameFeaturizer::featurize_batch(
     const std::vector<const Frame*>& frames) const {
-  Tensor out = Tensor::matrix(frames.size(), feature_count());
-  for (std::size_t i = 0; i < frames.size(); ++i) {
+  Tensor out = Tensor::uninitialized(Shape{frames.size(), feature_count()});
+  // Disjoint output rows: safe and deterministic at any thread count.
+  par::parallel_for(0, frames.size(), 8, [&](std::size_t i) {
     write_descriptor(*frames[i], out.row(i));
-  }
+  });
   return out;
 }
 

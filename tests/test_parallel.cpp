@@ -1,0 +1,427 @@
+// Tests of the deterministic parallel execution layer: the primitives
+// themselves (parallel_for / parallel_reduce semantics), and the
+// determinism contract end to end — matmul kernels, k-means, the full
+// offline profiler, and the batch engine path must produce bitwise
+// identical results at 1 and 4 threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "cluster/kmeans.hpp"
+#include "core/profiler.hpp"
+#include "tensor/tensor.hpp"
+#include "util/log.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace anole {
+namespace {
+
+/// Restores the default pool size when a test returns.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { par::set_thread_count(0); }
+};
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+Tensor random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Tensor t = Tensor::matrix(rows, cols);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return t;
+}
+
+/// Reference ikj matmul with the same per-element accumulation order (kk
+/// ascending) and the same zero-skip as the blocked kernel.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c = Tensor::matrix(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+      const float aik = a.at(i, kk);
+      if (aik == 0.0f) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(kk, j);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor naive_matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  Tensor c = Tensor::matrix(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t kk = 0; kk < a.rows(); ++kk) {
+      const float aik = a.at(kk, i);
+      if (aik == 0.0f) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(kk, j);
+      }
+    }
+  }
+  return c;
+}
+
+Tensor naive_matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  Tensor c = Tensor::matrix(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      float dot = 0.0f;
+      for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+        dot += a.at(i, kk) * b.at(j, kk);
+      }
+      c.at(i, j) = dot;
+    }
+  }
+  return c;
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  par::set_thread_count(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<int> hits(kN, 0);
+  par::parallel_for(0, kN, 7, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesRunNothing) {
+  ThreadCountGuard guard;
+  par::set_thread_count(4);
+  std::atomic<int> calls{0};
+  par::parallel_for(5, 5, 1, [&](std::size_t) { ++calls; });
+  par::parallel_for(9, 3, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineAndStillCover) {
+  ThreadCountGuard guard;
+  par::set_thread_count(4);
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 64;
+  std::vector<int> hits(kOuter * kInner, 0);
+  std::atomic<int> nested_parallel{0};
+  par::parallel_for(0, kOuter, 1, [&](std::size_t o) {
+    if (par::in_parallel_region()) {
+      // The nested call below must take the inline path.
+      par::parallel_for(0, kInner, 4, [&](std::size_t i) {
+        if (par::in_parallel_region()) ++hits[o * kInner + i];
+      });
+    } else {
+      // The caller thread also participates; it is marked as in-region
+      // for the duration of its chunks too.
+      ++nested_parallel;
+    }
+  });
+  // Every outer index ran with in_parallel_region() true.
+  EXPECT_EQ(nested_parallel.load(), 0);
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ParallelFor, PropagatesExceptionsAndStaysUsable) {
+  ThreadCountGuard guard;
+  par::set_thread_count(4);
+  EXPECT_THROW(par::parallel_for(0, 100, 1,
+                                 [&](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed job.
+  std::vector<int> hits(50, 0);
+  par::parallel_for(0, 50, 3, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 50);
+}
+
+TEST(ParallelFor, ChunkBoundariesMatchGrain) {
+  ThreadCountGuard guard;
+  par::set_thread_count(4);
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  par::parallel_for_chunks(3, 25, 10, [&](std::size_t lo, std::size_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{3, 13}));
+  EXPECT_EQ(chunks[1], (std::pair<std::size_t, std::size_t>{13, 23}));
+  EXPECT_EQ(chunks[2], (std::pair<std::size_t, std::size_t>{23, 25}));
+}
+
+TEST(ParallelReduce, BitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(42);
+  std::vector<float> values(100'000);
+  for (float& v : values) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  const auto chunked_sum = [&]() {
+    return par::parallel_reduce(
+        std::size_t{0}, values.size(), std::size_t{4096}, 0.0f,
+        [&](std::size_t lo, std::size_t hi) {
+          float partial = 0.0f;
+          for (std::size_t i = lo; i < hi; ++i) partial += values[i];
+          return partial;
+        },
+        [](float acc, float partial) { return acc + partial; });
+  };
+
+  par::set_thread_count(1);
+  const float serial = chunked_sum();
+  par::set_thread_count(4);
+  const float parallel = chunked_sum();
+  // Bitwise, not approximate: the combine order is fixed by the chunking.
+  EXPECT_EQ(std::memcmp(&serial, &parallel, sizeof(float)), 0);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsIdentity) {
+  ThreadCountGuard guard;
+  par::set_thread_count(4);
+  const int result = par::parallel_reduce(
+      std::size_t{10}, std::size_t{10}, std::size_t{1}, -5,
+      [](std::size_t, std::size_t) { return 1; },
+      [](int acc, int partial) { return acc + partial; });
+  EXPECT_EQ(result, -5);
+}
+
+TEST(ThreadCount, SetAndRestore) {
+  ThreadCountGuard guard;
+  par::set_thread_count(3);
+  EXPECT_EQ(par::thread_count(), 3u);
+  par::set_thread_count(1);
+  EXPECT_EQ(par::thread_count(), 1u);
+  par::set_thread_count(0);
+  EXPECT_GE(par::thread_count(), 1u);
+}
+
+TEST(TensorUninitialized, HasShapeAndAcceptsWrites) {
+  Tensor t = Tensor::uninitialized(Shape{17, 5});
+  EXPECT_EQ(t.rows(), 17u);
+  EXPECT_EQ(t.cols(), 5u);
+  EXPECT_EQ(t.size(), 85u);
+  t.fill(2.5f);
+  EXPECT_EQ(t.at(16, 4), 2.5f);
+}
+
+TEST(TensorParallel, MatmulMatchesNaiveBitwiseAtAnyThreadCount) {
+  ThreadCountGuard guard;
+  Rng rng(7);
+  // Odd sizes so the j/k blocks and the row grain all have ragged tails.
+  const Tensor a = random_matrix(37, 111, rng);
+  const Tensor b = random_matrix(111, 70, rng);
+  const Tensor reference = naive_matmul(a, b);
+
+  par::set_thread_count(1);
+  const Tensor serial = matmul(a, b);
+  par::set_thread_count(4);
+  const Tensor parallel = matmul(a, b);
+
+  EXPECT_TRUE(bitwise_equal(serial, reference));
+  EXPECT_TRUE(bitwise_equal(parallel, reference));
+}
+
+TEST(TensorParallel, MatmulTransposeAMatchesNaiveBitwise) {
+  ThreadCountGuard guard;
+  Rng rng(8);
+  const Tensor a = random_matrix(90, 33, rng);
+  const Tensor b = random_matrix(90, 41, rng);
+  const Tensor reference = naive_matmul_transpose_a(a, b);
+
+  par::set_thread_count(1);
+  const Tensor serial = matmul_transpose_a(a, b);
+  par::set_thread_count(4);
+  const Tensor parallel = matmul_transpose_a(a, b);
+
+  EXPECT_TRUE(bitwise_equal(serial, reference));
+  EXPECT_TRUE(bitwise_equal(parallel, reference));
+}
+
+TEST(TensorParallel, MatmulTransposeBMatchesNaiveBitwise) {
+  ThreadCountGuard guard;
+  Rng rng(9);
+  const Tensor a = random_matrix(45, 65, rng);
+  const Tensor b = random_matrix(52, 65, rng);
+  const Tensor reference = naive_matmul_transpose_b(a, b);
+
+  par::set_thread_count(1);
+  const Tensor serial = matmul_transpose_b(a, b);
+  par::set_thread_count(4);
+  const Tensor parallel = matmul_transpose_b(a, b);
+
+  EXPECT_TRUE(bitwise_equal(serial, reference));
+  EXPECT_TRUE(bitwise_equal(parallel, reference));
+}
+
+TEST(TensorParallel, ReductionsAreThreadCountInvariant) {
+  ThreadCountGuard guard;
+  Rng rng(10);
+  const Tensor t = random_matrix(300, 200, rng);
+
+  par::set_thread_count(1);
+  const float sum1 = t.sum();
+  const float norm1 = t.l2_norm();
+  const float max1 = t.abs_max();
+  par::set_thread_count(4);
+  const float sum4 = t.sum();
+  const float norm4 = t.l2_norm();
+  const float max4 = t.abs_max();
+
+  EXPECT_EQ(std::memcmp(&sum1, &sum4, sizeof(float)), 0);
+  EXPECT_EQ(std::memcmp(&norm1, &norm4, sizeof(float)), 0);
+  EXPECT_EQ(std::memcmp(&max1, &max4, sizeof(float)), 0);
+}
+
+TEST(KMeansParallel, IdenticalAtOneAndFourThreads) {
+  ThreadCountGuard guard;
+  Rng data_rng(11);
+  const Tensor points = random_matrix(200, 16, data_rng);
+  cluster::KMeansConfig config;
+  config.clusters = 7;
+
+  par::set_thread_count(1);
+  Rng rng_a(123);
+  const auto serial = cluster::kmeans(points, config, rng_a);
+  par::set_thread_count(4);
+  Rng rng_b(123);
+  const auto parallel = cluster::kmeans(points, config, rng_b);
+
+  EXPECT_EQ(serial.assignments, parallel.assignments);
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+  EXPECT_TRUE(bitwise_equal(serial.centroids, parallel.centroids));
+  EXPECT_EQ(std::memcmp(&serial.inertia, &parallel.inertia, sizeof(double)),
+            0);
+}
+
+// --- Full-pipeline determinism -------------------------------------------
+
+world::WorldConfig micro_world_config() {
+  world::WorldConfig config;
+  config.frames_per_clip = 40;
+  config.clip_scale = 0.12;
+  config.seed = 99;
+  return config;
+}
+
+core::ProfilerConfig micro_profiler_config() {
+  core::ProfilerConfig config;
+  config.encoder.train.epochs = 10;
+  config.repository.target_models = 5;
+  config.repository.detector_train.epochs = 4;
+  config.repository.min_training_frames = 20;
+  config.repository.min_validation_frames = 4;
+  config.sampling.budget = 120;
+  config.decision.train.epochs = 10;
+  return config;
+}
+
+/// Everything observable about a profiler run that determinism must pin:
+/// repository structure, validation scores, decision-model outputs, and
+/// the engine's frame-by-frame behaviour (sequential and batch paths).
+struct RunSnapshot {
+  std::vector<std::string> model_names;
+  std::vector<double> validation_f1;
+  std::vector<std::size_t> cluster_k;
+  std::vector<std::vector<std::size_t>> scene_classes;
+  double encoder_accuracy = 0.0;
+  std::size_t decision_samples = 0;
+  std::vector<float> suitability;
+  std::vector<std::size_t> served_sequence;
+  std::vector<std::size_t> batch_served_sequence;
+  std::vector<double> confidence_sequence;
+  std::vector<double> batch_confidence_sequence;
+  std::size_t detection_count = 0;
+  std::size_t batch_detection_count = 0;
+};
+
+RunSnapshot run_profiler_snapshot(std::size_t threads) {
+  par::set_thread_count(threads);
+  world::World world = world::make_benchmark_world(micro_world_config());
+  Rng rng(7);
+  core::ProfilerReport report;
+  core::OfflineProfiler profiler(micro_profiler_config());
+  core::AnoleSystem system = profiler.run(world, rng, &report);
+
+  RunSnapshot snap;
+  for (std::size_t m = 0; m < system.repository.size(); ++m) {
+    const core::SceneModel& model = system.repository.model(m);
+    snap.model_names.push_back(model.name);
+    snap.validation_f1.push_back(model.validation_f1);
+    snap.cluster_k.push_back(model.cluster_k);
+    snap.scene_classes.push_back(model.scene_classes);
+  }
+  snap.encoder_accuracy = report.encoder_train_accuracy;
+  snap.decision_samples = report.decision_samples;
+
+  const auto frames = world.frames_with_role(world::SplitRole::kTest);
+  const std::size_t n_frames = std::min<std::size_t>(frames.size(), 30);
+  const std::vector<const world::Frame*> sample(frames.begin(),
+                                                frames.begin() + n_frames);
+
+  const world::FrameFeaturizer featurizer;
+  const Tensor probs =
+      system.decision->suitability(featurizer.featurize_batch(sample));
+  snap.suitability.assign(probs.data().begin(), probs.data().end());
+
+  core::EngineConfig engine_config;
+  engine_config.cache.capacity = 3;
+  engine_config.suitability_smoothing = 0.3;
+  core::AnoleEngine sequential_engine(system, engine_config);
+  for (const world::Frame* frame : sample) {
+    const auto result = sequential_engine.process(*frame);
+    snap.served_sequence.push_back(result.served_model);
+    snap.confidence_sequence.push_back(result.top1_confidence);
+    snap.detection_count += result.detections.size();
+  }
+  core::AnoleEngine batch_engine(system, engine_config);
+  for (const auto& result : batch_engine.process_batch(sample)) {
+    snap.batch_served_sequence.push_back(result.served_model);
+    snap.batch_confidence_sequence.push_back(result.top1_confidence);
+    snap.batch_detection_count += result.detections.size();
+  }
+  return snap;
+}
+
+TEST(PipelineDeterminism, ProfilerAndEngineIdenticalAtOneAndFourThreads) {
+  ThreadCountGuard guard;
+  set_log_level(LogLevel::kError);
+  const RunSnapshot serial = run_profiler_snapshot(1);
+  const RunSnapshot parallel = run_profiler_snapshot(4);
+
+  ASSERT_FALSE(serial.model_names.empty());
+  EXPECT_EQ(serial.model_names, parallel.model_names);
+  EXPECT_EQ(serial.validation_f1, parallel.validation_f1);
+  EXPECT_EQ(serial.cluster_k, parallel.cluster_k);
+  EXPECT_EQ(serial.scene_classes, parallel.scene_classes);
+  EXPECT_EQ(serial.encoder_accuracy, parallel.encoder_accuracy);
+  EXPECT_EQ(serial.decision_samples, parallel.decision_samples);
+  EXPECT_EQ(serial.suitability, parallel.suitability);
+  EXPECT_EQ(serial.served_sequence, parallel.served_sequence);
+  EXPECT_EQ(serial.confidence_sequence, parallel.confidence_sequence);
+  EXPECT_EQ(serial.detection_count, parallel.detection_count);
+
+  // Batch processing must match sequential processing exactly, at both
+  // thread counts.
+  EXPECT_EQ(serial.served_sequence, serial.batch_served_sequence);
+  EXPECT_EQ(serial.confidence_sequence, serial.batch_confidence_sequence);
+  EXPECT_EQ(serial.detection_count, serial.batch_detection_count);
+  EXPECT_EQ(parallel.served_sequence, parallel.batch_served_sequence);
+  EXPECT_EQ(parallel.confidence_sequence,
+            parallel.batch_confidence_sequence);
+  EXPECT_EQ(parallel.detection_count, parallel.batch_detection_count);
+}
+
+}  // namespace
+}  // namespace anole

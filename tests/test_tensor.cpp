@@ -27,7 +27,7 @@ TEST(Tensor, FillConstructor) {
 }
 
 TEST(Tensor, DataConstructorChecksSize) {
-  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1.0f}),
+  EXPECT_THROW(Tensor(Shape{2, 2}, FloatBuffer{1.0f}),
                std::invalid_argument);
 }
 
