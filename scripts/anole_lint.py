@@ -18,6 +18,13 @@ Rules (each failure prints `file:line: rule-id: message`):
                        outside src/util/parallel.*; all parallelism goes
                        through the deterministic pool (util/parallel.hpp)
                        so results stay reproducible at any thread count.
+  no-throw-omi-hot-path
+                       literal `throw` is banned in the per-frame OMI hot
+                       path (src/core/engine.cpp, src/core/model_cache.cpp):
+                       every online frame must be served by the degradation
+                       ladder, never aborted. Contract violations go through
+                       the ANOLE_CHECK macros (util/check.hpp), which keep
+                       precondition errors out of the steady-state path.
 
 Usage: anole_lint.py [repo-root]   (exits non-zero on any finding)
 """
@@ -38,7 +45,11 @@ RE_DELETED_FN = re.compile(r"=\s*delete\b")
 RE_USING_NAMESPACE = re.compile(r"\busing\s+namespace\b")
 RE_COUT = re.compile(r"\bstd\s*::\s*cout\b")
 RE_RAW_THREAD = re.compile(r"\bstd\s*::\s*(?:thread|jthread|async)\b")
+RE_THROW = re.compile(r"\bthrow\b")
 RE_INCLUDE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
+
+# The per-frame OMI hot path: a fault here must degrade, never abort.
+NO_THROW_FILES = {"src/core/engine.cpp", "src/core/model_cache.cpp"}
 
 
 def strip_comments_and_strings(line: str, in_block_comment: bool):
@@ -134,6 +145,10 @@ def lint_file(path: Path, rel: Path):
             findings.append((number, "no-raw-thread",
                              "raw std::thread/std::async banned; use the "
                              "deterministic pool in util/parallel.hpp"))
+        if rel_str in NO_THROW_FILES and RE_THROW.search(line):
+            findings.append((number, "no-throw-omi-hot-path",
+                             "literal throw banned in the OMI hot path; "
+                             "degrade via the ladder or use ANOLE_CHECK"))
 
     if path.suffix == ".cpp" and rel_str.startswith("src/"):
         own_header = path.with_suffix(".hpp")

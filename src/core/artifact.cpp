@@ -12,7 +12,18 @@ namespace {
 
 constexpr std::array<char, 8> kMagic = {'A', 'N', 'O', 'L',
                                         'E', 'S', 'Y', 'S'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionLegacy = 1;
+
+// v2 section tags. Vital sections are written first so tail truncation
+// can only damage model sections.
+constexpr std::uint32_t kSectionSceneIndex = 1;
+constexpr std::uint32_t kSectionEncoder = 2;
+constexpr std::uint32_t kSectionDecision = 3;
+constexpr std::uint32_t kSectionModel = 4;
+
+// Upper bound on a single section payload; a corrupted size field must
+// not turn into a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxSectionBytes = 1ull << 30;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -57,69 +68,28 @@ std::vector<std::size_t> read_size_vector(std::istream& in) {
   return values;
 }
 
-}  // namespace
+// --- section payloads (shared between the v1 inline layout and the v2
+// sectioned layout; each function reads/writes exactly one logical unit
+// from the given stream) ---
 
-void save_system(AnoleSystem& system, std::ostream& out) {
-  if (!system.encoder || !system.decision) {
-    throw std::runtime_error("save_system: incomplete system");
-  }
-  out.write(kMagic.data(), kMagic.size());
-  write_pod(out, kVersion);
-
-  // --- scene index ---
+void write_scene_index(std::ostream& out, AnoleSystem& system) {
   write_size_vector(out, system.scene_index.semantic_ids());
+}
 
-  // --- encoder: architecture, then weights ---
+void read_scene_index(std::istream& in, AnoleSystem& system) {
+  system.scene_index =
+      SemanticSceneIndex::from_semantic_ids(read_size_vector(in));
+}
+
+void write_encoder(std::ostream& out, AnoleSystem& system) {
   write_pod(out, static_cast<std::uint64_t>(system.encoder->class_count()));
   write_pod(out,
             static_cast<std::uint64_t>(system.encoder->config().hidden_width));
   write_pod(out, static_cast<std::uint64_t>(system.encoder->embedding_dim()));
   nn::save_parameters(*system.encoder, out);
-
-  // --- repository ---
-  write_pod(out, static_cast<std::uint32_t>(system.repository.size()));
-  for (std::size_t m = 0; m < system.repository.size(); ++m) {
-    SceneModel& model = system.repository.model(m);
-    write_string(out, model.name);
-    write_size_vector(out, model.scene_classes);
-    write_pod(out, model.validation_f1);
-    write_pod(out, static_cast<std::uint64_t>(model.cluster_k));
-    const auto& config = model.detector->config();
-    write_pod(out, static_cast<std::uint64_t>(model.detector->grid_size()));
-    write_size_vector(out, config.hidden);
-    write_pod(out, config.confidence_threshold);
-    write_pod(out, config.nms_threshold);
-    write_pod(out, config.nms_center_distance);
-    nn::save_parameters(model.detector->network(), out);
-  }
-
-  // --- decision head ---
-  write_pod(out,
-            static_cast<std::uint64_t>(system.decision->config().hidden_width));
-  write_pod(out, static_cast<std::uint32_t>(system.decision->model_count()));
-  nn::save_parameters(system.decision->head(), out);
-
-  if (!out) throw std::runtime_error("save_system: write failed");
 }
 
-AnoleSystem load_system(std::istream& in) {
-  std::array<char, 8> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic) {
-    throw std::runtime_error("load_system: bad magic");
-  }
-  if (read_pod<std::uint32_t>(in) != kVersion) {
-    throw std::runtime_error("load_system: unsupported version");
-  }
-
-  AnoleSystem system;
-  // Weights are overwritten after construction, so the init RNG seed is
-  // irrelevant; a fixed seed keeps loading deterministic anyway.
-  Rng rng(0xA401EULL);
-
-  system.scene_index =
-      SemanticSceneIndex::from_semantic_ids(read_size_vector(in));
-
+void read_encoder(std::istream& in, AnoleSystem& system, Rng& rng) {
   const auto class_count =
       static_cast<std::size_t>(read_pod<std::uint64_t>(in));
   SceneEncoderConfig encoder_config;
@@ -130,28 +100,50 @@ AnoleSystem load_system(std::istream& in) {
   system.encoder =
       std::make_unique<SceneEncoder>(class_count, encoder_config, rng);
   nn::load_parameters(*system.encoder, in);
+}
 
-  const auto model_count = read_pod<std::uint32_t>(in);
-  for (std::uint32_t m = 0; m < model_count; ++m) {
-    SceneModel model;
-    model.name = read_string(in);
-    model.scene_classes = read_size_vector(in);
-    model.validation_f1 = read_pod<double>(in);
-    model.cluster_k = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-    const auto grid_size =
-        static_cast<std::size_t>(read_pod<std::uint64_t>(in));
-    detect::GridDetectorConfig config;
-    config.hidden = read_size_vector(in);
-    config.confidence_threshold = read_pod<double>(in);
-    config.nms_threshold = read_pod<double>(in);
-    config.nms_center_distance = read_pod<double>(in);
-    config.name = model.name;
-    model.detector =
-        std::make_unique<detect::GridDetector>(config, rng, grid_size);
-    nn::load_parameters(model.detector->network(), in);
-    system.repository.add(std::move(model));
-  }
+void write_model(std::ostream& out, SceneModel& model) {
+  write_string(out, model.name);
+  write_size_vector(out, model.scene_classes);
+  write_pod(out, model.validation_f1);
+  write_pod(out, static_cast<std::uint64_t>(model.cluster_k));
+  const auto& config = model.detector->config();
+  write_pod(out, static_cast<std::uint64_t>(model.detector->grid_size()));
+  write_size_vector(out, config.hidden);
+  write_pod(out, config.confidence_threshold);
+  write_pod(out, config.nms_threshold);
+  write_pod(out, config.nms_center_distance);
+  nn::save_parameters(model.detector->network(), out);
+}
 
+SceneModel read_model(std::istream& in, Rng& rng) {
+  SceneModel model;
+  model.name = read_string(in);
+  model.scene_classes = read_size_vector(in);
+  model.validation_f1 = read_pod<double>(in);
+  model.cluster_k = static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  const auto grid_size =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(in));
+  detect::GridDetectorConfig config;
+  config.hidden = read_size_vector(in);
+  config.confidence_threshold = read_pod<double>(in);
+  config.nms_threshold = read_pod<double>(in);
+  config.nms_center_distance = read_pod<double>(in);
+  config.name = model.name;
+  model.detector =
+      std::make_unique<detect::GridDetector>(config, rng, grid_size);
+  nn::load_parameters(model.detector->network(), in);
+  return model;
+}
+
+void write_decision(std::ostream& out, AnoleSystem& system) {
+  write_pod(out,
+            static_cast<std::uint64_t>(system.decision->config().hidden_width));
+  write_pod(out, static_cast<std::uint32_t>(system.decision->model_count()));
+  nn::save_parameters(system.decision->head(), out);
+}
+
+void read_decision(std::istream& in, AnoleSystem& system, Rng& rng) {
   DecisionModelConfig decision_config;
   decision_config.hidden_width =
       static_cast<std::size_t>(read_pod<std::uint64_t>(in));
@@ -159,6 +151,234 @@ AnoleSystem load_system(std::istream& in) {
   system.decision = std::make_unique<DecisionModel>(
       *system.encoder, decision_models, decision_config, rng);
   nn::load_parameters(system.decision->head(), in);
+}
+
+/// Stand-in for a model whose artifact section was damaged. It keeps the
+/// repository width (and thus the decision-head wiring) intact but must
+/// never serve: the engine quarantines every damaged slot permanently.
+SceneModel make_placeholder_model(std::size_t model_id, Rng& rng) {
+  SceneModel model;
+  model.name = "damaged-" + std::to_string(model_id);
+  detect::GridDetectorConfig config = detect::GridDetectorConfig::compressed();
+  config.name = model.name;
+  model.detector = std::make_unique<detect::GridDetector>(config, rng);
+  return model;
+}
+
+/// Serializes one logical unit into a buffer and emits it as a v2 section:
+/// u32 tag, u64 payload size, u32 CRC-32 of the payload, payload bytes.
+template <typename WriteBody>
+void write_section(std::ostream& out, std::uint32_t tag, WriteBody&& body) {
+  std::ostringstream buffer(std::ios::binary);
+  body(buffer);
+  const std::string payload = buffer.str();
+  write_pod(out, tag);
+  write_pod(out, static_cast<std::uint64_t>(payload.size()));
+  write_pod(out, nn::crc32(payload.data(), payload.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+void save_system_v1(AnoleSystem& system, std::ostream& out) {
+  write_scene_index(out, system);
+  write_encoder(out, system);
+  write_pod(out, static_cast<std::uint32_t>(system.repository.size()));
+  for (std::size_t m = 0; m < system.repository.size(); ++m) {
+    write_model(out, system.repository.model(m));
+  }
+  write_decision(out, system);
+}
+
+void load_system_v1(std::istream& in, AnoleSystem& system, Rng& rng) {
+  read_scene_index(in, system);
+  read_encoder(in, system, rng);
+  const auto model_count = read_pod<std::uint32_t>(in);
+  for (std::uint32_t m = 0; m < model_count; ++m) {
+    system.repository.add(read_model(in, rng));
+  }
+  read_decision(in, system, rng);
+}
+
+void save_system_v2(AnoleSystem& system, std::ostream& out) {
+  const auto model_count =
+      static_cast<std::uint32_t>(system.repository.size());
+  write_pod(out, model_count);
+  write_pod(out, static_cast<std::uint32_t>(model_count + 3));  // sections
+  write_section(out, kSectionSceneIndex,
+                [&](std::ostream& s) { write_scene_index(s, system); });
+  write_section(out, kSectionEncoder,
+                [&](std::ostream& s) { write_encoder(s, system); });
+  write_section(out, kSectionDecision,
+                [&](std::ostream& s) { write_decision(s, system); });
+  for (std::uint32_t m = 0; m < model_count; ++m) {
+    write_section(out, kSectionModel, [&](std::ostream& s) {
+      write_model(s, system.repository.model(m));
+    });
+  }
+}
+
+void load_system_v2(std::istream& in, AnoleSystem& system,
+                    fault::FaultInjector* faults, Rng& rng) {
+  const auto model_count = read_pod<std::uint32_t>(in);
+  const auto section_count = read_pod<std::uint32_t>(in);
+  bool have_index = false;
+  bool have_encoder = false;
+  bool have_decision = false;
+  std::uint32_t models_read = 0;
+  bool truncated = false;
+
+  for (std::uint32_t s = 0; s < section_count && !truncated; ++s) {
+    // Section header. Truncation here is recoverable only once every
+    // vital section has been read: the missing tail is all models.
+    std::uint32_t tag = 0;
+    std::uint64_t size = 0;
+    std::uint32_t expected_crc = 0;
+    in.read(reinterpret_cast<char*>(&tag), sizeof(tag));
+    in.read(reinterpret_cast<char*>(&size), sizeof(size));
+    in.read(reinterpret_cast<char*>(&expected_crc), sizeof(expected_crc));
+    if (!in) {
+      if (have_index && have_encoder && have_decision) {
+        truncated = true;
+        break;
+      }
+      throw std::runtime_error("load_system: truncated before section " +
+                               std::to_string(s));
+    }
+    if (size > kMaxSectionBytes) {
+      throw std::runtime_error("load_system: implausible section size");
+    }
+    std::string payload(static_cast<std::size_t>(size), '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(size));
+    const bool payload_complete = static_cast<bool>(in);
+    if (!payload_complete && tag != kSectionModel) {
+      throw std::runtime_error("load_system: truncated vital section " +
+                               std::to_string(tag));
+    }
+    // Injected storage rot: flip one deterministic bit, then let the
+    // checksum below catch it exactly as real corruption would be caught.
+    if (faults != nullptr && !payload.empty() &&
+        faults->should_fail(fault::Site::kArtifactSection, s)) {
+      const std::size_t bit =
+          faults->draw_index(fault::Site::kArtifactSection,
+                             payload.size() * 8);
+      payload[bit / 8] = static_cast<char>(
+          static_cast<unsigned char>(payload[bit / 8]) ^
+          (1u << (bit % 8)));
+    }
+    const bool intact =
+        payload_complete &&
+        nn::crc32(payload.data(), payload.size()) == expected_crc;
+
+    if (tag == kSectionModel) {
+      if (models_read >= model_count) {
+        throw std::runtime_error("load_system: more model sections than "
+                                 "the header's model count");
+      }
+      const std::size_t model_id = models_read++;
+      bool added = false;
+      if (intact) {
+        std::istringstream section(payload, std::ios::binary);
+        try {
+          system.repository.add(read_model(section, rng));
+          added = true;
+        } catch (const std::exception&) {
+          // CRC passed but the payload would not parse; treat the slot
+          // as damaged rather than aborting the boot.
+        }
+      }
+      if (!added) {
+        system.repository.add(make_placeholder_model(model_id, rng));
+        system.damaged_models.push_back(model_id);
+      }
+      if (!payload_complete) truncated = true;
+      continue;
+    }
+
+    if (!intact) {
+      throw std::runtime_error("load_system: checksum mismatch in vital "
+                               "section " + std::to_string(tag));
+    }
+    std::istringstream section(payload, std::ios::binary);
+    switch (tag) {
+      case kSectionSceneIndex:
+        read_scene_index(section, system);
+        have_index = true;
+        break;
+      case kSectionEncoder:
+        read_encoder(section, system, rng);
+        have_encoder = true;
+        break;
+      case kSectionDecision:
+        if (!system.encoder) {
+          throw std::runtime_error(
+              "load_system: decision section before encoder");
+        }
+        read_decision(section, system, rng);
+        have_decision = true;
+        break;
+      default:
+        throw std::runtime_error("load_system: unknown section tag " +
+                                 std::to_string(tag));
+    }
+  }
+
+  if (!have_index || !have_encoder || !have_decision) {
+    throw std::runtime_error("load_system: artifact missing a vital section");
+  }
+  // Models lost to tail truncation: keep the repository (and decision
+  // head) at full width with quarantined placeholders.
+  while (models_read < model_count) {
+    const std::size_t model_id = models_read++;
+    system.repository.add(make_placeholder_model(model_id, rng));
+    system.damaged_models.push_back(model_id);
+  }
+  if (!system.damaged_models.empty() &&
+      system.damaged_models.size() >= system.repository.size()) {
+    throw std::runtime_error(
+        "load_system: every model section was damaged");
+  }
+}
+
+}  // namespace
+
+void save_system(AnoleSystem& system, std::ostream& out,
+                 std::uint32_t version) {
+  if (!system.encoder || !system.decision) {
+    throw std::runtime_error("save_system: incomplete system");
+  }
+  if (version != kVersionLegacy && version != kArtifactVersion) {
+    throw std::runtime_error("save_system: unsupported version " +
+                             std::to_string(version));
+  }
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, version);
+  if (version == kVersionLegacy) {
+    save_system_v1(system, out);
+  } else {
+    save_system_v2(system, out);
+  }
+  if (!out) throw std::runtime_error("save_system: write failed");
+}
+
+AnoleSystem load_system(std::istream& in, fault::FaultInjector* faults) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_system: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+
+  AnoleSystem system;
+  // Weights are overwritten after construction, so the init RNG seed is
+  // irrelevant; a fixed seed keeps loading deterministic anyway.
+  Rng rng(0xA401EULL);
+
+  if (version == kVersionLegacy) {
+    load_system_v1(in, system, rng);
+  } else if (version == kArtifactVersion) {
+    load_system_v2(in, system, faults, rng);
+  } else {
+    throw std::runtime_error("load_system: unsupported version");
+  }
   return system;
 }
 
@@ -175,7 +395,7 @@ AnoleSystem load_system_from_file(const std::string& path) {
 }
 
 std::uint64_t system_artifact_bytes(AnoleSystem& system) {
-  std::ostringstream out;
+  std::ostringstream out(std::ios::binary);
   save_system(system, out);
   return out.str().size();
 }

@@ -6,8 +6,18 @@
 // AnoleSystem, save_system() ships it, and the device reconstructs an
 // identical system with load_system() — no training data travels, so the
 // loaded repository carries no ASS frame pools (they are cloud-only).
+//
+// Format v2 (self-healing, DESIGN.md §9): the blob is a sequence of
+// CRC-32-guarded sections. Vital sections (scene index, encoder, decision
+// head) come first; one section per compressed model follows, so tail
+// truncation can only damage models. A corrupt or truncated model section
+// does not abort the load: the slot gets a placeholder detector, the
+// model id is recorded in AnoleSystem::damaged_models, and the engine
+// quarantines it permanently. Corruption in a vital section throws.
+// Version-1 blobs (unsectioned, no checksums) still load.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -15,16 +25,27 @@
 
 namespace anole::core {
 
+/// Latest artifact format version written by save_system.
+inline constexpr std::uint32_t kArtifactVersion = 2;
+
 /// Writes the full system (scene index, M_scene, every compressed model
-/// with its metadata, M_decision head) to `out`.
+/// with its metadata, M_decision head) to `out`. `version` selects the
+/// blob format (1 = legacy unsectioned, 2 = CRC-guarded sections).
 /// Throws std::runtime_error on I/O failure.
-void save_system(AnoleSystem& system, std::ostream& out);
+void save_system(AnoleSystem& system, std::ostream& out,
+                 std::uint32_t version = kArtifactVersion);
 
 /// Reconstructs a system from a stream written by save_system. The loaded
 /// models produce bit-identical inference results; `training_frames` /
 /// `validation_frames` pools are empty (deployment artifacts carry no
-/// data). Throws std::runtime_error on malformed input.
-AnoleSystem load_system(std::istream& in);
+/// data). Models whose v2 sections fail their checksum are replaced by
+/// placeholders and listed in AnoleSystem::damaged_models. Throws
+/// std::runtime_error on malformed vital input or when every model is
+/// damaged. `faults` (optional, site `artifact_section`) deterministically
+/// flips one bit per hit section before verification, simulating storage
+/// rot; pass nullptr for a faithful load.
+AnoleSystem load_system(std::istream& in,
+                        fault::FaultInjector* faults = nullptr);
 
 /// File-based wrappers.
 void save_system_to_file(AnoleSystem& system, const std::string& path);

@@ -1,15 +1,34 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "util/check.hpp"
 
 namespace anole::core {
+namespace {
+
+/// Sanitized value for a non-finite suitability entry: strictly below any
+/// valid probability and any configurable confidence floor, so a corrupt
+/// reading ranks last and can never win a frame.
+constexpr double kCorruptSuitability = -1.0;
+
+bool is_damaged(const AnoleSystem& system, std::size_t model) {
+  return std::find(system.damaged_models.begin(),
+                   system.damaged_models.end(),
+                   model) != system.damaged_models.end();
+}
+
+}  // namespace
 
 AnoleEngine::AnoleEngine(AnoleSystem& system, const EngineConfig& config)
     : system_(&system),
       config_(config),
+      faults_(config.faults ? config.faults
+                            : std::shared_ptr<fault::FaultInjector>(
+                                  fault::FaultInjector::from_env())),
       cache_(system.repository.size(), config.cache),
       top1_counts_(system.repository.size(), 0) {
   ANOLE_CHECK(!system.repository.empty(),
@@ -23,8 +42,18 @@ AnoleEngine::AnoleEngine(AnoleSystem& system, const EngineConfig& config)
                  "AnoleEngine: negative confidence floor");
   ANOLE_CHECK_EQ(system.decision->model_count(), system.repository.size(),
                  "AnoleEngine: decision head width != repository size");
-  // Broadest model = most scene classes, ties broken by validation F1.
-  for (std::size_t m = 1; m < system.repository.size(); ++m) {
+  ANOLE_CHECK_LT(system.damaged_models.size(), system.repository.size(),
+                 "AnoleEngine: every model in the artifact was damaged");
+  // Broadest undamaged model = most scene classes, ties broken by
+  // validation F1. Damaged slots hold placeholders and must never serve.
+  bool have_fallback = false;
+  for (std::size_t m = 0; m < system.repository.size(); ++m) {
+    if (is_damaged(system, m)) continue;
+    if (!have_fallback) {
+      fallback_model_ = m;
+      have_fallback = true;
+      continue;
+    }
     const SceneModel& candidate = system.repository.model(m);
     const SceneModel& current = system.repository.model(fallback_model_);
     if (candidate.scene_classes.size() > current.scene_classes.size() ||
@@ -33,10 +62,13 @@ AnoleEngine::AnoleEngine(AnoleSystem& system, const EngineConfig& config)
       fallback_model_ = m;
     }
   }
+  cache_.set_pinned_fallback(fallback_model_);
+  cache_.set_fault_injector(faults_.get());
+  for (std::size_t m : system.damaged_models) cache_.quarantine_forever(m);
 }
 
 AnoleEngine::AnoleEngine(AnoleSystem& system, const CacheConfig& cache_config)
-    : AnoleEngine(system, EngineConfig{cache_config, 0.0, 0.0}) {}
+    : AnoleEngine(system, EngineConfig{cache_config, 0.0, 0.0, nullptr}) {}
 
 EngineResult AnoleEngine::process(const world::Frame& frame) {
   const Tensor descriptor = featurizer_.featurize(frame);
@@ -51,7 +83,8 @@ std::vector<EngineResult> AnoleEngine::process_batch(
   // MSS, hoisted: one featurize_batch and one decision-model forward for
   // the whole batch. Each matmul output row depends only on its own input
   // row, so row i of `probs` is bitwise identical to what process() would
-  // have computed for frame i alone.
+  // have computed for frame i alone. Fault draws all happen in the
+  // sequential tail below, keeping the schedule thread-count-invariant.
   const Tensor descriptors = featurizer_.featurize_batch(frames);
   const Tensor probs = system_->decision->suitability(descriptors);
   results.reserve(frames.size());
@@ -68,13 +101,32 @@ EngineResult AnoleEngine::process_with_suitability(
   const std::size_t n = system_->repository.size();
   ANOLE_CHECK_EQ(probs.size(), n,
                  "AnoleEngine: suitability width != repository size");
+  std::vector<double> suitability(probs.begin(), probs.end());
+  // Injected decision corruption: one entry turns non-finite, exercising
+  // the guard below exactly as a misbehaving decision head would.
+  if (faults_ != nullptr &&
+      faults_->should_fail(fault::Site::kDecisionOutput, frames_)) {
+    suitability[faults_->draw_index(fault::Site::kDecisionOutput, n)] =
+        std::numeric_limits<double>::quiet_NaN();
+  }
+  // NaN/Inf guard: a non-finite suitability entry is treated as "below
+  // the confidence floor" — sanitized to rank last — instead of poisoning
+  // the sort and the smoothed state.
+  for (double& value : suitability) {
+    if (!std::isfinite(value)) {
+      value = kCorruptSuitability;
+      result.health.nonfinite_suitability = true;
+    }
+  }
+  if (result.health.nonfinite_suitability) ++nonfinite_frames_;
+
   if (smoothed_suitability_.size() != n) {
-    smoothed_suitability_.assign(probs.begin(), probs.end());
+    smoothed_suitability_ = suitability;
   } else {
     const double alpha = config_.suitability_smoothing;
     for (std::size_t m = 0; m < n; ++m) {
       smoothed_suitability_[m] =
-          alpha * smoothed_suitability_[m] + (1.0 - alpha) * probs[m];
+          alpha * smoothed_suitability_[m] + (1.0 - alpha) * suitability[m];
     }
   }
   std::vector<std::size_t> ranking(n);
@@ -86,9 +138,11 @@ EngineResult AnoleEngine::process_with_suitability(
   result.top1_confidence = smoothed_suitability_[ranking[0]];
   ++top1_counts_[ranking[0]];
 
-  // Case-3 fallback: no model looks suitable, use the broadest one.
-  if (config_.confidence_floor > 0.0 &&
-      result.top1_confidence < config_.confidence_floor) {
+  // Case-3 fallback: no model looks suitable — or the whole vector was
+  // corrupt (top-1 below zero) — use the broadest one.
+  if ((config_.confidence_floor > 0.0 &&
+       result.top1_confidence < config_.confidence_floor) ||
+      result.top1_confidence < 0.0) {
     result.low_confidence = true;
     ++low_confidence_;
     std::rotate(ranking.begin(),
@@ -96,15 +150,29 @@ EngineResult AnoleEngine::process_with_suitability(
                 ranking.end());
   }
 
-  // CMD: resolve against the model cache.
+  // CMD: resolve against the model cache (bounded retry + quarantine
+  // ladder live inside admit; it never throws on a valid ranking).
   const auto admission = cache_.admit(ranking);
   result.served_model = admission.served_model;
   result.cache_hit = admission.hit;
   result.model_loaded = admission.loaded.has_value();
+  result.health.load_attempts = admission.load_attempts;
+  result.health.load_abandoned = admission.load_abandoned;
+  result.health.quarantined = admission.quarantined;
+  result.health.served_degraded = admission.served_pinned;
+  if (admission.served_pinned) ++degraded_frames_;
 
-  // MI: run the chosen compressed model.
-  result.detections =
-      system_->repository.detector(admission.served_model).detect(frame);
+  // MI: run the chosen compressed model. A corrupt payload degrades to an
+  // empty detection set for this frame instead of feeding the detector
+  // garbage.
+  if (faults_ != nullptr &&
+      faults_->should_fail(fault::Site::kFramePayload, frames_)) {
+    result.health.payload_corrupt = true;
+    ++payload_corrupt_frames_;
+  } else {
+    result.detections =
+        system_->repository.detector(admission.served_model).detect(frame);
+  }
 
   result.model_switched =
       last_served_.has_value() && *last_served_ != admission.served_model;

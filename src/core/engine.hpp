@@ -3,6 +3,15 @@
 // optional extensions the paper motivates: a decision-confidence fallback
 // for samples outside every model's distribution (problem-formulation
 // case 3) and temporal smoothing of the suitability vector.
+//
+// The online path is fault-tolerant (DESIGN.md §9): model loads can fail
+// (bounded retry + quarantine in the cache), suitability vectors are
+// guarded against non-finite entries, corrupt frame payloads degrade to
+// empty detections, and a pinned fallback model serves whenever nothing
+// else is admissible. Faults are injected deterministically through
+// util/fault.hpp — per AnoleEngine, from EngineConfig::faults or the
+// ANOLE_FAULTS environment variable — and every frame carries a health
+// record of what degraded.
 #pragma once
 
 #include <memory>
@@ -12,6 +21,7 @@
 #include "core/decision_model.hpp"
 #include "core/model_cache.hpp"
 #include "core/repository.hpp"
+#include "util/fault.hpp"
 
 namespace anole::core {
 
@@ -22,6 +32,10 @@ struct AnoleSystem {
   SemanticSceneIndex scene_index;
   ModelRepository repository;
   std::unique_ptr<DecisionModel> decision;
+  /// Models whose artifact sections were corrupt at load time; their
+  /// repository slots hold placeholders and the engine quarantines them
+  /// permanently (core/artifact partial-load recovery).
+  std::vector<std::size_t> damaged_models;
 
   std::size_t model_count() const { return repository.size(); }
 };
@@ -38,10 +52,32 @@ struct EngineConfig {
   /// broadest model in the repository (the paper's case-3 best effort).
   /// 0 disables the fallback.
   double confidence_floor = 0.0;
+  /// Fault injector driving this engine's failure schedule. When null,
+  /// the engine builds one from the ANOLE_FAULTS environment variable
+  /// (and runs fault-free when that is unset).
+  std::shared_ptr<fault::FaultInjector> faults;
 };
 
 /// Everything that happened while processing one frame.
 struct EngineResult {
+  /// Per-frame degradation record (all false/empty on a healthy frame).
+  struct Health {
+    /// Load attempts made by the cache (0 = no load needed).
+    std::size_t load_attempts = 0;
+    /// True when every load attempt failed and the load was abandoned.
+    bool load_abandoned = false;
+    /// True when the suitability vector contained non-finite entries
+    /// (sanitized to "unsuitable" before ranking).
+    bool nonfinite_suitability = false;
+    /// True when the frame payload was corrupt; detections are empty.
+    bool payload_corrupt = false;
+    /// True when the pinned fallback served because no ranked model was
+    /// admissible.
+    bool served_degraded = false;
+    /// Model newly quarantined while processing this frame, if any.
+    std::optional<std::size_t> quarantined;
+  };
+
   std::vector<detect::Detection> detections;
   /// Model that actually served the frame.
   std::size_t served_model = 0;
@@ -56,6 +92,7 @@ struct EngineResult {
   bool model_switched = false;
   /// True when the confidence fallback replaced the decision's choice.
   bool low_confidence = false;
+  Health health;
 };
 
 class AnoleEngine {
@@ -69,8 +106,9 @@ class AnoleEngine {
   /// Processes `frames` in stream order. Featurization and the decision
   /// model's embedding run once over the whole batch (parallel, batched
   /// matmuls); the stateful per-frame stages (temporal smoothing, cache
-  /// admission, inference) then run sequentially, so the results are
-  /// bitwise identical to calling process() frame by frame.
+  /// admission, inference) then run sequentially, so the results — and
+  /// any injected fault schedule — are bitwise identical to calling
+  /// process() frame by frame at any thread count.
   std::vector<EngineResult> process_batch(
       const std::vector<const world::Frame*>& frames);
 
@@ -80,11 +118,28 @@ class AnoleEngine {
   std::size_t low_confidence_frames() const { return low_confidence_; }
 
   /// The model served when confidence falls below the floor: the broadest
-  /// accepted model (most scene classes, ties by validation F1).
+  /// accepted model (most scene classes, ties by validation F1) that is
+  /// not damaged. Also the cache's pinned fallback.
   std::size_t fallback_model() const { return fallback_model_; }
 
   /// Per-model counts of being ranked top-1 (the utility of Fig. 4b).
   const std::vector<std::size_t>& top1_counts() const { return top1_counts_; }
+
+  /// --- degradation ladder counters ---
+
+  /// Frames whose suitability vector carried non-finite entries.
+  std::size_t nonfinite_frames() const { return nonfinite_frames_; }
+  /// Frames whose payload was corrupt (served with empty detections).
+  std::size_t payload_corrupt_frames() const {
+    return payload_corrupt_frames_;
+  }
+  /// Frames served by the pinned fallback because nothing ranked was
+  /// admissible.
+  std::size_t degraded_frames() const { return degraded_frames_; }
+
+  /// This engine's injector; null when running fault-free.
+  const fault::FaultInjector* faults() const { return faults_.get(); }
+  fault::FaultInjector* faults() { return faults_.get(); }
 
  private:
   /// Shared tail of process()/process_batch(): everything after the
@@ -94,6 +149,7 @@ class AnoleEngine {
 
   AnoleSystem* system_;
   EngineConfig config_;
+  std::shared_ptr<fault::FaultInjector> faults_;
   ModelCache cache_;
   world::FrameFeaturizer featurizer_;
   std::vector<std::size_t> top1_counts_;
@@ -102,6 +158,9 @@ class AnoleEngine {
   std::size_t switches_ = 0;
   std::size_t frames_ = 0;
   std::size_t low_confidence_ = 0;
+  std::size_t nonfinite_frames_ = 0;
+  std::size_t payload_corrupt_frames_ = 0;
+  std::size_t degraded_frames_ = 0;
   std::optional<std::size_t> last_served_;
 };
 

@@ -21,9 +21,15 @@ const char* to_string(EvictionPolicy policy) {
 
 ModelCache::ModelCache(std::size_t model_count, const CacheConfig& config)
     : config_(config), model_count_(model_count),
-      use_counts_(model_count, 0) {
+      use_counts_(model_count, 0), health_(model_count) {
   ANOLE_CHECK_GE(config.capacity, 1u, "ModelCache: capacity must be >= 1");
   ANOLE_CHECK_GE(model_count, 1u, "ModelCache: no models to cache");
+  ANOLE_CHECK_GE(config.max_load_attempts, 1u,
+                 "ModelCache: max_load_attempts must be >= 1");
+  ANOLE_CHECK_GE(config.quarantine_after, 1u,
+                 "ModelCache: quarantine_after must be >= 1");
+  ANOLE_CHECK_GE(config.quarantine_frames, 1u,
+                 "ModelCache: quarantine_frames must be >= 1");
 }
 
 std::optional<std::size_t> ModelCache::find(std::size_t model) const {
@@ -48,6 +54,41 @@ double ModelCache::miss_rate() const {
   return lookups_ == 0 ? 0.0
                        : static_cast<double>(misses_) /
                              static_cast<double>(lookups_);
+}
+
+void ModelCache::set_pinned_fallback(std::size_t model) {
+  ANOLE_CHECK_RANGE(model, model_count_,
+                    "ModelCache::set_pinned_fallback: unknown model id");
+  ANOLE_CHECK(!health_[model].forever,
+              "ModelCache::set_pinned_fallback: model ", model,
+              " is permanently quarantined");
+  pinned_ = model;
+}
+
+bool ModelCache::is_quarantined(std::size_t model) const {
+  ANOLE_CHECK_RANGE(model, model_count_,
+                    "ModelCache::is_quarantined: unknown model id");
+  const Health& health = health_[model];
+  return health.forever || clock_ < health.quarantined_until;
+}
+
+void ModelCache::quarantine_forever(std::size_t model) {
+  ANOLE_CHECK_RANGE(model, model_count_,
+                    "ModelCache::quarantine_forever: unknown model id");
+  ANOLE_CHECK(!pinned_ || *pinned_ != model,
+              "ModelCache::quarantine_forever: model ", model,
+              " is the pinned fallback");
+  health_[model].forever = true;
+  ++quarantine_events_;
+  evict_model(model);
+}
+
+std::vector<std::size_t> ModelCache::quarantined_models() const {
+  std::vector<std::size_t> models;
+  for (std::size_t m = 0; m < model_count_; ++m) {
+    if (is_quarantined(m)) models.push_back(m);
+  }
+  return models;
 }
 
 std::size_t ModelCache::pick_victim() const {
@@ -92,34 +133,111 @@ void ModelCache::touch(std::size_t entry_index) {
   entries_[entry_index].last_used = clock_;
 }
 
+void ModelCache::evict_model(std::size_t model) {
+  if (auto index = find(model)) {
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(*index));
+  }
+}
+
+bool ModelCache::try_load(std::size_t model, Admission& admission) {
+  Health& health = health_[model];
+  for (std::size_t attempt = 1; attempt <= config_.max_load_attempts;
+       ++attempt) {
+    admission.load_attempts = attempt;
+    if (faults_ != nullptr &&
+        faults_->should_fail(fault::Site::kModelLoad, model)) {
+      ++load_failures_;
+      continue;
+    }
+    load(model);
+    health.consecutive_abandoned = 0;
+    return true;
+  }
+  // Every attempt failed: abandon the load and walk the quarantine ladder.
+  admission.load_abandoned = true;
+  ++abandoned_loads_;
+  ++health.consecutive_abandoned;
+  if (health.consecutive_abandoned >= config_.quarantine_after) {
+    const std::size_t backoff =
+        std::min<std::size_t>(health.quarantine_count, 6);
+    health.quarantined_until =
+        clock_ + (config_.quarantine_frames << backoff);
+    ++health.quarantine_count;
+    health.consecutive_abandoned = 0;
+    ++quarantine_events_;
+    admission.quarantined = model;
+    evict_model(model);
+  }
+  return false;
+}
+
+void ModelCache::serve_pinned(Admission& admission) {
+  // Defined degradation for "nothing admissible": the pinned premodel
+  // serves. Its load is fault-free by design (reserved slot).
+  const std::size_t pinned = *pinned_;
+  if (!contains(pinned)) {
+    const auto before = resident_models();
+    load(pinned);
+    admission.loaded = pinned;
+    for (std::size_t model : before) {
+      if (!contains(model)) {
+        admission.evicted = model;
+        break;
+      }
+    }
+  }
+  touch(*find(pinned));
+  admission.served_model = pinned;
+  admission.served_pinned = true;
+  ++degraded_serves_;
+  use_counts_[pinned] += 1;
+}
+
 ModelCache::Admission ModelCache::admit(
     std::span<const std::size_t> ranking) {
-  ANOLE_CHECK(!ranking.empty(), "ModelCache::admit: empty ranking");
   // A ranking entry outside the model id space would silently corrupt
   // use_counts_; validate the whole vector up front.
   for (std::size_t model : ranking) {
     ANOLE_CHECK_RANGE(model, model_count_,
                       "ModelCache::admit: unknown model id in ranking");
   }
+  ANOLE_CHECK(!ranking.empty() || pinned_.has_value(),
+              "ModelCache::admit: empty ranking and no pinned fallback "
+              "(set_pinned_fallback defines the degraded serve)");
   ++clock_;
   ++lookups_;
   Admission admission;
 
-  const std::size_t top1 = ranking[0];
-  if (auto resident = find(top1)) {
+  // Effective top-1: the best-ranked model that is not quarantined.
+  std::optional<std::size_t> top;
+  for (std::size_t model : ranking) {
+    if (!is_quarantined(model)) {
+      top = model;
+      break;
+    }
+  }
+  if (!top) {
+    // Empty or fully quarantined ranking: the pinned premodel serves.
+    ++misses_;
+    serve_pinned(admission);
+    return admission;
+  }
+
+  if (auto resident = find(*top)) {
     admission.hit = true;
-    admission.served_model = top1;
+    admission.served_model = *top;
     touch(*resident);
-    use_counts_[top1] += 1;
+    use_counts_[*top] += 1;
     return admission;
   }
 
   ++misses_;
-  // Serve with the best-ranked resident model, if any, and credit its use
-  // *before* the load so the eviction policy sees it as active.
+  // Serve with the best-ranked admissible resident model, if any, and
+  // credit its use *before* the load so the eviction policy sees it as
+  // active.
   std::optional<std::size_t> serving_model;
   for (std::size_t model : ranking) {
-    if (contains(model)) {
+    if (!is_quarantined(model) && contains(model)) {
       serving_model = model;
       break;
     }
@@ -128,19 +246,32 @@ ModelCache::Admission ModelCache::admit(
 
   // Load top-1 (evicting per policy) so future frames of this scene hit.
   const auto before = resident_models();
-  load(top1);
-  admission.loaded = top1;
-  for (std::size_t model : before) {
-    if (!contains(model)) {
-      admission.evicted = model;
-      break;
+  if (try_load(*top, admission)) {
+    admission.loaded = *top;
+    for (std::size_t model : before) {
+      if (!contains(model)) {
+        admission.evicted = model;
+        break;
+      }
     }
   }
 
   if (!serving_model) {
-    // Cold start: the freshly loaded top-1 serves the frame.
-    serving_model = top1;
-    touch(*find(top1));
+    if (contains(*top)) {
+      // Cold start: the freshly loaded top-1 serves the frame.
+      serving_model = *top;
+      touch(*find(*top));
+    } else if (pinned_) {
+      // Cold start whose load was abandoned: degrade to the premodel.
+      serve_pinned(admission);
+      return admission;
+    } else {
+      // No resident model, no pinned fallback: a misconfigured caller
+      // (faults armed on a bare cache). Surface it as a contract error.
+      ANOLE_CHECK(false,
+                  "ModelCache::admit: load of model ", *top,
+                  " abandoned with an empty cache and no pinned fallback");
+    }
   }
   admission.served_model = *serving_model;
   use_counts_[admission.served_model] += 1;
@@ -152,7 +283,7 @@ void ModelCache::preload(std::span<const std::size_t> models) {
     ANOLE_CHECK_RANGE(model, model_count_,
                       "ModelCache::preload: unknown model id");
     ++clock_;
-    if (!contains(model)) load(model);
+    if (!contains(model) && !is_quarantined(model)) load(model);
   }
 }
 

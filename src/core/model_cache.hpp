@@ -6,12 +6,25 @@
 // loaded, evicting a victim chosen by the configured policy (the paper
 // motivates LFU from the power-law model-utility distribution; LRU and
 // FIFO are kept for the ablation bench).
+//
+// Degradation ladder (DESIGN.md §9): model loads can fail (exercised via
+// util/fault.hpp). A failed load is retried up to `max_load_attempts`
+// times within the admission; a model whose loads are abandoned
+// `quarantine_after` times in a row is quarantined — exiled from rankings
+// for a cooldown that doubles on every repeat offence, then re-admitted.
+// When no ranked model is admissible (all quarantined, or the ranking is
+// empty), the pinned fallback model serves the frame; its load bypasses
+// fault injection (the premodel lives in a reserved slot, the framework's
+// last line of defence). Nothing in this path throws: every frame is
+// served by a resident model.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 #include <span>
 #include <vector>
+
+#include "util/fault.hpp"
 
 namespace anole::core {
 
@@ -22,6 +35,13 @@ const char* to_string(EvictionPolicy policy);
 struct CacheConfig {
   std::size_t capacity = 5;
   EvictionPolicy policy = EvictionPolicy::kLfu;
+  /// Load attempts per admission before the load is abandoned.
+  std::size_t max_load_attempts = 3;
+  /// Consecutive abandoned loads before a model is quarantined.
+  std::size_t quarantine_after = 3;
+  /// Base quarantine cooldown in admissions; doubles per repeat offence
+  /// (capped), giving decayed re-admission.
+  std::size_t quarantine_frames = 64;
 };
 
 class ModelCache {
@@ -30,19 +50,30 @@ class ModelCache {
   struct Admission {
     /// Model used to serve this frame (best-ranked resident model).
     std::size_t served_model = 0;
-    /// True when the top-1 model was already resident.
+    /// True when the (admissible) top-1 model was already resident.
     bool hit = false;
     /// Model loaded this step (top-1 on a miss), if any.
     std::optional<std::size_t> loaded;
     /// Model evicted to make room, if any.
     std::optional<std::size_t> evicted;
+    /// Load attempts made this admission (0 when no load was needed).
+    std::size_t load_attempts = 0;
+    /// True when every attempt failed and the load was abandoned.
+    bool load_abandoned = false;
+    /// Model newly quarantined by this admission, if any.
+    std::optional<std::size_t> quarantined;
+    /// True when the pinned fallback served because no ranked model was
+    /// admissible (empty ranking, all quarantined, or failed cold load).
+    bool served_pinned = false;
   };
 
   ModelCache(std::size_t model_count, const CacheConfig& config);
 
   /// Serves a frame given the decision ranking (ranking[0] = top-1).
   /// On a cold start (empty cache) the top-1 model is loaded synchronously
-  /// and counted as a miss.
+  /// and counted as a miss. An empty ranking (or one whose every model is
+  /// quarantined) is served by the pinned fallback when one is set and
+  /// throws anole::ContractViolation otherwise.
   Admission admit(std::span<const std::size_t> ranking);
 
   /// Convenience overload for literal rankings.
@@ -59,11 +90,39 @@ class ModelCache {
   std::size_t misses() const { return misses_; }
   double miss_rate() const;
 
-  /// Loads models up-front (no miss accounting), evicting as needed.
+  /// Loads models up-front (no miss accounting, no fault injection),
+  /// evicting as needed. Quarantined models are skipped.
   void preload(std::span<const std::size_t> models);
 
   /// Per-model use counts (how often each model served a frame).
   const std::vector<std::size_t>& use_counts() const { return use_counts_; }
+
+  /// --- degradation ladder ---
+
+  /// Injector consulted on every load attempt (site `model_load`); null
+  /// (the default) means loads always succeed. Not owned.
+  void set_fault_injector(fault::FaultInjector* faults) { faults_ = faults; }
+
+  /// Pins the model that serves when no ranked model is admissible. Its
+  /// loads bypass fault injection (a reserved premodel slot).
+  void set_pinned_fallback(std::size_t model);
+  std::optional<std::size_t> pinned_fallback() const { return pinned_; }
+
+  /// True while `model` is exiled from rankings (cooldown not yet over).
+  bool is_quarantined(std::size_t model) const;
+
+  /// Exiles `model` permanently (e.g. its artifact section was corrupt).
+  void quarantine_forever(std::size_t model);
+
+  /// Currently quarantined models, ascending.
+  std::vector<std::size_t> quarantined_models() const;
+
+  /// Failed load attempts / abandoned loads / quarantine entries /
+  /// pinned-fallback serves since construction.
+  std::size_t load_failures() const { return load_failures_; }
+  std::size_t abandoned_loads() const { return abandoned_loads_; }
+  std::size_t quarantine_events() const { return quarantine_events_; }
+  std::size_t degraded_serves() const { return degraded_serves_; }
 
  private:
   struct Entry {
@@ -73,18 +132,43 @@ class ModelCache {
     std::size_t loaded_at = 0;   // logical clock (FIFO)
   };
 
+  /// Per-model failure bookkeeping for the quarantine ladder.
+  struct Health {
+    std::size_t consecutive_abandoned = 0;
+    std::size_t quarantine_count = 0;
+    /// Admissible again once clock_ >= quarantined_until.
+    std::size_t quarantined_until = 0;
+    bool forever = false;
+  };
+
   std::optional<std::size_t> find(std::size_t model) const;
   void load(std::size_t model);
   std::size_t pick_victim() const;
   void touch(std::size_t entry_index);
+  void evict_model(std::size_t model);
+
+  /// Attempts to load `model` with bounded retry under fault injection;
+  /// fills the load/quarantine fields of `admission`. Returns true when
+  /// the model is resident afterwards.
+  bool try_load(std::size_t model, Admission& admission);
+
+  /// Serves via the pinned fallback (loading it fault-free if needed).
+  void serve_pinned(Admission& admission);
 
   CacheConfig config_;
   std::size_t model_count_;
   std::vector<Entry> entries_;
   std::vector<std::size_t> use_counts_;
+  std::vector<Health> health_;
+  fault::FaultInjector* faults_ = nullptr;
+  std::optional<std::size_t> pinned_;
   std::size_t clock_ = 0;
   std::size_t lookups_ = 0;
   std::size_t misses_ = 0;
+  std::size_t load_failures_ = 0;
+  std::size_t abandoned_loads_ = 0;
+  std::size_t quarantine_events_ = 0;
+  std::size_t degraded_serves_ = 0;
 };
 
 }  // namespace anole::core

@@ -1,18 +1,33 @@
 #include "device/session.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace anole::device {
 
 DeviceSession::DeviceSession(const DeviceProfile& profile,
-                             double throughput_scale)
-    : profile_(profile), throughput_scale_(throughput_scale) {}
+                             double throughput_scale,
+                             fault::FaultInjector* faults)
+    : profile_(profile), throughput_scale_(throughput_scale),
+      faults_(faults) {}
 
 double DeviceSession::process(const FrameCost& cost) {
   double latency = 0.0;
-  if (cost.loaded_weight_mb > 0.0) {
-    latency +=
-        profile_.load_latency_ms(cost.loaded_weight_mb,
+  const double streamed_mb = cost.loaded_weight_mb + cost.retried_weight_mb;
+  if (streamed_mb > 0.0) {
+    double load_ms =
+        profile_.load_latency_ms(streamed_mb,
                                  /*first_load=*/!framework_initialized_);
     framework_initialized_ = true;
+    // Injected I/O stall: the whole load (including retries) slows down
+    // by the armed magnitude — a contended flash/NVMe read, not a crash.
+    if (faults_ != nullptr &&
+        faults_->should_fail(fault::Site::kLoadLatencySpike,
+                             latencies_.size())) {
+      load_ms *= faults_->magnitude(fault::Site::kLoadLatencySpike);
+      ++latency_spikes_;
+    }
+    latency += load_ms;
   }
   if (cost.decision_flops > 0) {
     latency += profile_.inference_latency_ms(cost.decision_flops,
@@ -20,6 +35,9 @@ double DeviceSession::process(const FrameCost& cost) {
   }
   latency +=
       profile_.inference_latency_ms(cost.detector_flops, throughput_scale_);
+  if (cost.deadline_ms > 0.0 && latency > cost.deadline_ms) {
+    ++deadline_overruns_;
+  }
   latencies_.push_back(latency);
   total_ms_ += latency;
   return latency;
@@ -30,10 +48,20 @@ double DeviceSession::mean_latency_ms() const {
   return total_ms_ / static_cast<double>(latencies_.size());
 }
 
+double DeviceSession::p95_latency_ms() const {
+  if (latencies_.empty()) return 0.0;
+  // Nearest-rank percentile: ceil(0.95 * n)-th smallest value.
+  std::vector<double> sorted = latencies_;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const std::size_t rank = (n * 95 + 99) / 100;  // ceil(n * 0.95)
+  return sorted[rank - 1];
+}
+
 double DeviceSession::fps() const {
-  return total_ms_ > 0.0
-             ? 1000.0 * static_cast<double>(latencies_.size()) / total_ms_
-             : 0.0;
+  if (latencies_.empty()) return 0.0;
+  if (total_ms_ <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1000.0 * static_cast<double>(latencies_.size()) / total_ms_;
 }
 
 }  // namespace anole::device

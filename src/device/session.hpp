@@ -5,12 +5,19 @@
 // load (cache misses), decision-model time per frame, and detector time
 // per frame — producing the per-frame latency series of Fig. 4(a) and the
 // end-to-end latency numbers of Table IV / Fig. 10.
+//
+// Fault-aware accounting (DESIGN.md §9): failed load attempts re-stream
+// weights (`FrameCost::retried_weight_mb`), an injected I/O latency spike
+// (site `load_latency_spike`) multiplies a frame's load time by the
+// armed magnitude, and frames may carry a deadline whose overruns the
+// session counts.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "device/profile.hpp"
+#include "util/fault.hpp"
 
 namespace anole::device {
 
@@ -22,11 +29,19 @@ struct FrameCost {
   /// Paper-equivalent MB of weights loaded synchronously this frame
   /// (0 when the cache hit).
   double loaded_weight_mb = 0.0;
+  /// Paper-equivalent MB re-streamed by failed load attempts this frame
+  /// (retry cost of the degradation ladder; 0 on a clean load).
+  double retried_weight_mb = 0.0;
+  /// Latency budget for this frame in ms; 0 disables the deadline check.
+  double deadline_ms = 0.0;
 };
 
 class DeviceSession {
  public:
-  DeviceSession(const DeviceProfile& profile, double throughput_scale = 1.0);
+  /// `faults` (optional, site `load_latency_spike`) injects I/O latency
+  /// spikes into frames that stream weights; it must outlive the session.
+  DeviceSession(const DeviceProfile& profile, double throughput_scale = 1.0,
+                fault::FaultInjector* faults = nullptr);
 
   /// Charges one frame and returns its end-to-end latency in ms.
   double process(const FrameCost& cost);
@@ -39,15 +54,29 @@ class DeviceSession {
   std::size_t frames() const { return latencies_.size(); }
   double mean_latency_ms() const;
 
-  /// Average throughput over the session.
+  /// 95th-percentile frame latency (nearest-rank); 0 for empty sessions.
+  double p95_latency_ms() const;
+
+  /// Frames whose latency exceeded their (non-zero) deadline_ms.
+  std::size_t deadline_overruns() const { return deadline_overruns_; }
+  /// Frames whose load latency was hit by an injected I/O spike.
+  std::size_t latency_spikes() const { return latency_spikes_; }
+
+  /// Average throughput over the session. Convention: an empty session
+  /// reports 0; a non-empty session whose total time is <= 0 ms (all
+  /// frames free under the cost model) reports +infinity — "instant", not
+  /// "stalled".
   double fps() const;
 
  private:
   const DeviceProfile profile_;
   double throughput_scale_;
+  fault::FaultInjector* faults_;
   bool framework_initialized_ = false;
   std::vector<double> latencies_;
   double total_ms_ = 0.0;
+  std::size_t deadline_overruns_ = 0;
+  std::size_t latency_spikes_ = 0;
 };
 
 }  // namespace anole::device

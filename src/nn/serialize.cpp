@@ -88,6 +88,28 @@ void load_parameters_from_file(Module& module, const std::string& path) {
   load_parameters(module, in);
 }
 
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  // Table-driven CRC-32 (reflected polynomial 0xEDB88320). The table is
+  // built once on first use; thread-safe per C++11 static initialization.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
 std::uint64_t serialized_size_bytes(Module& module) {
   std::uint64_t bytes = kMagic.size() + sizeof(kVersion) +
                         sizeof(std::uint32_t);

@@ -30,4 +30,11 @@ void load_parameters_from_file(Module& module, const std::string& path);
 /// Size in bytes the serialized parameters occupy (header + payload).
 std::uint64_t serialized_size_bytes(Module& module);
 
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `size` bytes at `data`.
+/// Chain blocks by passing the previous return value as `seed`. Used by
+/// the artifact layer's per-section checksums: a CRC-32 detects every
+/// single-bit flip and every burst error up to 32 bits.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
 }  // namespace anole::nn

@@ -1,0 +1,222 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace anole::fault {
+namespace {
+
+constexpr std::array<const char*, kSiteCount> kSiteNames = {
+    "model_load", "artifact_section", "decision_output", "frame_payload",
+    "load_latency_spike"};
+
+std::size_t site_index(Site site) {
+  const auto index = static_cast<std::size_t>(site);
+  ANOLE_CHECK_RANGE(index, kSiteCount, "unknown fault::Site");
+  return index;
+}
+
+/// Parses a non-negative double; `what` names the token in diagnostics.
+double parse_double(std::string_view text, std::string_view what) {
+  ANOLE_CHECK(!text.empty(), "ANOLE_FAULTS: empty value for ", what);
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(std::string(text), &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  ANOLE_CHECK(consumed == text.size(), "ANOLE_FAULTS: bad number '", text,
+              "' for ", what);
+  return value;
+}
+
+}  // namespace
+
+const char* to_string(Site site) { return kSiteNames[site_index(site)]; }
+
+std::optional<Site> site_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (name == kSiteNames[i]) return static_cast<Site>(i);
+  }
+  return std::nullopt;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {
+  seed_streams();
+}
+
+FaultInjector::FaultInjector(const std::string& spec)
+    : FaultInjector(kDefaultSeed) {
+  std::string_view rest = spec;
+  bool reseed = false;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view token = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    // Trim surrounding whitespace.
+    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+    while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
+    if (token.empty()) continue;
+
+    const std::size_t eq = token.find('=');
+    ANOLE_CHECK(eq != std::string_view::npos && eq > 0,
+                "ANOLE_FAULTS: token '", token, "' is not key=value");
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+
+    if (key == "seed") {
+      std::size_t consumed = 0;
+      std::uint64_t parsed = 0;
+      try {
+        parsed = std::stoull(std::string(value), &consumed);
+      } catch (const std::exception&) {
+        consumed = 0;
+      }
+      ANOLE_CHECK(consumed == value.size() && !value.empty(),
+                  "ANOLE_FAULTS: bad seed '", value, "'");
+      seed_ = parsed;
+      reseed = true;
+      continue;
+    }
+    const auto site = site_from_name(key);
+    ANOLE_CHECK(site.has_value(), "ANOLE_FAULTS: unknown site '", key,
+                "' (sites: model_load, artifact_section, decision_output, "
+                "frame_payload, load_latency_spike)");
+    const std::size_t x = value.find('x');
+    double mag = 1.0;
+    std::string_view prob_text = value;
+    if (x != std::string_view::npos) {
+      prob_text = value.substr(0, x);
+      mag = parse_double(value.substr(x + 1), "magnitude");
+      ANOLE_CHECK_GT(mag, 0.0, "ANOLE_FAULTS: magnitude must be > 0");
+    }
+    const double prob = parse_double(prob_text, key);
+    ANOLE_CHECK(prob >= 0.0 && prob <= 1.0,
+                "ANOLE_FAULTS: probability for ", key,
+                " must be in [0, 1], got ", prob);
+    sites_[site_index(*site)].probability = prob;
+    sites_[site_index(*site)].magnitude = mag;
+  }
+  if (reseed) seed_streams();
+}
+
+std::unique_ptr<FaultInjector> FaultInjector::from_env() {
+  const char* spec = std::getenv("ANOLE_FAULTS");
+  if (spec == nullptr || *spec == '\0') return nullptr;
+  return std::make_unique<FaultInjector>(std::string(spec));
+}
+
+void FaultInjector::seed_streams() {
+  // One independent stream per site, derived from the master seed so a
+  // draw at one site never shifts another site's schedule.
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    sites_[i].rng = Rng(seed_ + 0x9E3779B97F4A7C15ULL * (i + 1));
+  }
+}
+
+void FaultInjector::arm(Site site, double probability, double magnitude) {
+  ANOLE_CHECK(probability >= 0.0 && probability <= 1.0,
+              "FaultInjector::arm: probability must be in [0, 1], got ",
+              probability);
+  ANOLE_CHECK_GT(magnitude, 0.0,
+                 "FaultInjector::arm: magnitude must be > 0");
+  const std::scoped_lock lock(mutex_);
+  sites_[site_index(site)].probability = probability;
+  sites_[site_index(site)].magnitude = magnitude;
+}
+
+void FaultInjector::disarm(Site site) {
+  const std::scoped_lock lock(mutex_);
+  sites_[site_index(site)].probability = 0.0;
+}
+
+bool FaultInjector::armed() const {
+  const std::scoped_lock lock(mutex_);
+  for (const SiteState& state : sites_) {
+    if (state.probability > 0.0) return true;
+  }
+  return false;
+}
+
+double FaultInjector::probability(Site site) const {
+  const std::scoped_lock lock(mutex_);
+  return sites_[site_index(site)].probability;
+}
+
+double FaultInjector::magnitude(Site site) const {
+  const std::scoped_lock lock(mutex_);
+  return sites_[site_index(site)].magnitude;
+}
+
+bool FaultInjector::should_fail(Site site, std::uint64_t payload) {
+  const std::scoped_lock lock(mutex_);
+  SiteState& state = sites_[site_index(site)];
+  // Unarmed sites never advance their stream, so arming one site later
+  // does not depend on how often the clean path consulted it.
+  if (state.probability <= 0.0) return false;
+  const std::uint64_t check = state.checks++;
+  if (state.rng.uniform() >= state.probability) return false;
+  ++state.injected;
+  trace_.push_back(FaultEvent{site, check, payload});
+  return true;
+}
+
+std::size_t FaultInjector::draw_index(Site site, std::size_t n) {
+  ANOLE_CHECK_GE(n, 1u, "FaultInjector::draw_index: empty range");
+  const std::scoped_lock lock(mutex_);
+  return sites_[site_index(site)].rng.uniform_index(n);
+}
+
+std::uint64_t FaultInjector::checks(Site site) const {
+  const std::scoped_lock lock(mutex_);
+  return sites_[site_index(site)].checks;
+}
+
+std::uint64_t FaultInjector::injected(Site site) const {
+  const std::scoped_lock lock(mutex_);
+  return sites_[site_index(site)].injected;
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const SiteState& state : sites_) total += state.injected;
+  return total;
+}
+
+std::vector<FaultEvent> FaultInjector::trace() const {
+  const std::scoped_lock lock(mutex_);
+  return trace_;
+}
+
+std::uint64_t FaultInjector::trace_hash() const {
+  const std::scoped_lock lock(mutex_);
+  std::uint64_t hash = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (8 * byte)) & 0xFFu;
+      hash *= 0x100000001B3ULL;
+    }
+  };
+  for (const FaultEvent& event : trace_) {
+    mix(static_cast<std::uint64_t>(event.site));
+    mix(event.check_index);
+    mix(event.payload);
+  }
+  return hash;
+}
+
+void FaultInjector::reset() {
+  const std::scoped_lock lock(mutex_);
+  seed_streams();
+  trace_.clear();
+  for (SiteState& state : sites_) {
+    state.checks = 0;
+    state.injected = 0;
+  }
+}
+
+}  // namespace anole::fault

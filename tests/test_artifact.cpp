@@ -5,11 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "core/profiler.hpp"
 #include "eval/f1_series.hpp"
+#include "nn/serialize.hpp"
 #include "util/log.hpp"
 
 namespace anole::core {
@@ -116,11 +120,13 @@ TEST_F(ArtifactTest, RejectsGarbage) {
   EXPECT_THROW((void)load_system(garbage), std::runtime_error);
 }
 
-TEST_F(ArtifactTest, RejectsTruncation) {
+TEST_F(ArtifactTest, RejectsTruncationInVitalRegion) {
+  // A cut before the vital sections (scene index, encoder, decision) are
+  // complete is unrecoverable; only tail (model-section) damage heals.
   std::stringstream stream;
   save_system(*system_, stream);
   std::string data = stream.str();
-  data.resize(data.size() / 3);
+  data.resize(30);  // mid first section header
   std::stringstream truncated(data);
   EXPECT_THROW((void)load_system(truncated), std::runtime_error);
 }
@@ -208,6 +214,213 @@ TEST_F(ArtifactTest, Top1ConfidenceReported) {
   const auto result = engine.process(*frames[0]);
   EXPECT_GT(result.top1_confidence, 0.0);
   EXPECT_LE(result.top1_confidence, 1.0);
+}
+
+// --- v2 self-healing artifact layout ---
+
+/// One v2 section as laid out in the blob: u32 tag, u64 size, u32 CRC,
+/// payload. The fixed header before the section table is 8 (magic) +
+/// 4 (version) + 4 (model count) + 4 (section count) = 20 bytes.
+struct SectionInfo {
+  std::uint32_t tag = 0;
+  std::size_t payload_offset = 0;
+  std::size_t payload_size = 0;
+};
+
+constexpr std::uint32_t kModelSectionTag = 4;
+constexpr std::size_t kBlobHeaderBytes = 20;
+constexpr std::size_t kSectionHeaderBytes = 16;
+
+std::vector<SectionInfo> parse_sections(const std::string& blob) {
+  std::vector<SectionInfo> sections;
+  std::size_t offset = kBlobHeaderBytes;
+  while (offset + kSectionHeaderBytes <= blob.size()) {
+    SectionInfo info;
+    std::uint64_t size = 0;
+    std::memcpy(&info.tag, blob.data() + offset, sizeof(info.tag));
+    std::memcpy(&size, blob.data() + offset + 4, sizeof(size));
+    info.payload_offset = offset + kSectionHeaderBytes;
+    info.payload_size = static_cast<std::size_t>(size);
+    sections.push_back(info);
+    offset = info.payload_offset + info.payload_size;
+  }
+  return sections;
+}
+
+std::string serialized_blob(AnoleSystem& system) {
+  std::stringstream stream;
+  save_system(system, stream);
+  return stream.str();
+}
+
+/// Serialized detector weights of model `m` — the bit-identity witness.
+std::string model_weights(AnoleSystem& system, std::size_t m) {
+  std::ostringstream out(std::ios::binary);
+  nn::save_parameters(system.repository.detector(m).network(), out);
+  return out.str();
+}
+
+TEST_F(ArtifactTest, V2SingleBitFlipAlwaysDetected) {
+  const std::string clean = serialized_blob(*system_);
+  const auto sections = parse_sections(clean);
+  ASSERT_EQ(sections.size(), 3 + system_->model_count());
+  std::size_t model_index = 0;
+  for (const SectionInfo& section : sections) {
+    ASSERT_GT(section.payload_size, 0u);
+    // Sample the first, middle, and last bit of the payload; CRC-32
+    // detects every single-bit flip, wherever it lands.
+    const std::size_t bits = section.payload_size * 8;
+    for (const std::size_t bit : {std::size_t{0}, bits / 2, bits - 1}) {
+      std::string blob = clean;
+      blob[section.payload_offset + bit / 8] = static_cast<char>(
+          static_cast<unsigned char>(blob[section.payload_offset + bit / 8]) ^
+          (1u << (bit % 8)));
+      std::stringstream stream(blob);
+      if (section.tag == kModelSectionTag) {
+        const AnoleSystem loaded = load_system(stream);
+        ASSERT_EQ(loaded.damaged_models.size(), 1u) << "bit " << bit;
+        EXPECT_EQ(loaded.damaged_models[0], model_index);
+      } else {
+        EXPECT_THROW((void)load_system(stream), std::runtime_error)
+            << "vital tag " << section.tag << " bit " << bit;
+      }
+    }
+    if (section.tag == kModelSectionTag) ++model_index;
+  }
+}
+
+TEST_F(ArtifactTest, CorruptModelKeepsOthersBitIdentical) {
+  const std::string clean = serialized_blob(*system_);
+  const auto sections = parse_sections(clean);
+  // Corrupt the second model's section.
+  std::size_t target_section = 0;
+  std::size_t seen_models = 0;
+  for (std::size_t s = 0; s < sections.size(); ++s) {
+    if (sections[s].tag == kModelSectionTag && seen_models++ == 1) {
+      target_section = s;
+      break;
+    }
+  }
+  std::string blob = clean;
+  const std::size_t flip_at = sections[target_section].payload_offset + 5;
+  blob[flip_at] = static_cast<char>(
+      static_cast<unsigned char>(blob[flip_at]) ^ 0x10u);
+  std::stringstream damaged_stream(blob);
+  AnoleSystem damaged = load_system(damaged_stream);
+  std::stringstream clean_stream(clean);
+  AnoleSystem reference = load_system(clean_stream);
+
+  ASSERT_EQ(damaged.damaged_models, std::vector<std::size_t>{1});
+  ASSERT_EQ(damaged.model_count(), reference.model_count());
+  EXPECT_EQ(damaged.repository.model(1).name, "damaged-1");
+  for (std::size_t m = 0; m < damaged.model_count(); ++m) {
+    if (m == 1) continue;
+    EXPECT_EQ(damaged.repository.model(m).name,
+              reference.repository.model(m).name);
+    EXPECT_EQ(model_weights(damaged, m), model_weights(reference, m));
+  }
+}
+
+TEST_F(ArtifactTest, TruncatedTailQuarantinesTrailingModels) {
+  const std::string clean = serialized_blob(*system_);
+  const auto sections = parse_sections(clean);
+  const SectionInfo& last = sections.back();
+  ASSERT_EQ(last.tag, kModelSectionTag);
+
+  // Cut mid-payload of the final model section: that model (and only it)
+  // is damaged, and the system still boots.
+  std::string blob = clean;
+  blob.resize(last.payload_offset + last.payload_size / 2);
+  std::stringstream stream(blob);
+  AnoleSystem loaded = load_system(stream);
+  const std::size_t last_model = loaded.model_count() - 1;
+  EXPECT_EQ(loaded.damaged_models, std::vector<std::size_t>{last_model});
+
+  // Cut two whole sections off the tail: both trailing models are damaged.
+  std::string shorter = clean;
+  shorter.resize(sections[sections.size() - 2].payload_offset -
+                 kSectionHeaderBytes);
+  std::stringstream short_stream(shorter);
+  AnoleSystem two_missing = load_system(short_stream);
+  EXPECT_EQ(two_missing.damaged_models,
+            (std::vector<std::size_t>{last_model - 1, last_model}));
+  EXPECT_EQ(two_missing.model_count(), system_->model_count());
+}
+
+TEST_F(ArtifactTest, AllModelSectionsDamagedThrows) {
+  const std::string clean = serialized_blob(*system_);
+  std::string blob = clean;
+  for (const SectionInfo& section : parse_sections(clean)) {
+    if (section.tag == kModelSectionTag) {
+      blob[section.payload_offset] = static_cast<char>(
+          static_cast<unsigned char>(blob[section.payload_offset]) ^ 0x01u);
+    }
+  }
+  std::stringstream stream(blob);
+  EXPECT_THROW((void)load_system(stream), std::runtime_error);
+}
+
+TEST_F(ArtifactTest, DamagedSystemDrivesEngineWithoutServingDamaged) {
+  const std::string clean = serialized_blob(*system_);
+  const auto sections = parse_sections(clean);
+  std::string blob = clean;
+  blob[sections[3].payload_offset] = static_cast<char>(  // first model
+      static_cast<unsigned char>(blob[sections[3].payload_offset]) ^ 0x01u);
+  std::stringstream stream(blob);
+  AnoleSystem loaded = load_system(stream);
+  ASSERT_EQ(loaded.damaged_models, std::vector<std::size_t>{0});
+
+  CacheConfig cache_config;
+  cache_config.capacity = 3;
+  AnoleEngine engine(loaded, cache_config);
+  EXPECT_NE(engine.fallback_model(), 0u);
+  EXPECT_TRUE(engine.cache().is_quarantined(0));
+  const auto frames = world_->frames_with_role(world::SplitRole::kTest);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto result = engine.process(*frames[i]);
+    EXPECT_NE(result.served_model, 0u) << "frame " << i;
+  }
+}
+
+TEST_F(ArtifactTest, InjectedSectionCorruptionIsDeterministic) {
+  const std::string clean = serialized_blob(*system_);
+  const auto load_under_injection = [&clean]() {
+    fault::FaultInjector injector(321);
+    injector.arm(fault::Site::kArtifactSection, 0.5);
+    std::stringstream stream(clean);
+    try {
+      const AnoleSystem loaded = load_system(stream, &injector);
+      return std::make_pair(false, loaded.damaged_models);
+    } catch (const std::runtime_error&) {
+      return std::make_pair(true, std::vector<std::size_t>{});
+    }
+  };
+  const auto first = load_under_injection();
+  const auto second = load_under_injection();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST_F(ArtifactTest, V1FormatStillRoundTrips) {
+  std::stringstream stream;
+  save_system(*system_, stream, 1);
+  AnoleSystem loaded = load_system(stream);
+  EXPECT_TRUE(loaded.damaged_models.empty());
+  ASSERT_EQ(loaded.model_count(), system_->model_count());
+  for (std::size_t m = 0; m < loaded.model_count(); ++m) {
+    EXPECT_EQ(loaded.repository.model(m).name,
+              system_->repository.model(m).name);
+    EXPECT_EQ(model_weights(loaded, m), model_weights(*system_, m));
+  }
+  // v1 carries no checksums, so it is strictly smaller than v2.
+  std::stringstream v2_stream;
+  save_system(*system_, v2_stream);
+  EXPECT_LT(stream.str().size(), v2_stream.str().size());
+}
+
+TEST_F(ArtifactTest, UnsupportedVersionRejected) {
+  std::stringstream stream;
+  EXPECT_THROW(save_system(*system_, stream, 3), std::runtime_error);
 }
 
 }  // namespace

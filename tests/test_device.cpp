@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace anole::device {
 namespace {
 
@@ -162,6 +164,93 @@ TEST(DeviceSession, EmptySessionStats) {
   EXPECT_EQ(session.frames(), 0u);
   EXPECT_DOUBLE_EQ(session.mean_latency_ms(), 0.0);
   EXPECT_DOUBLE_EQ(session.fps(), 0.0);
+  EXPECT_DOUBLE_EQ(session.p95_latency_ms(), 0.0);
+  EXPECT_EQ(session.deadline_overruns(), 0u);
+}
+
+TEST(DeviceSession, FpsConventionInfiniteForFreeFrames) {
+  // Documented convention: frames that cost 0 ms mean "instant", not
+  // "stalled" — fps reports +infinity rather than 0.
+  DeviceProfile free_profile;
+  free_profile.inference_overhead_ms = 0.0;
+  free_profile.ms_per_tiny_unit = 0.0;
+  DeviceSession session(free_profile);
+  (void)session.process(FrameCost{});
+  EXPECT_EQ(session.frames(), 1u);
+  EXPECT_DOUBLE_EQ(session.total_ms(), 0.0);
+  EXPECT_TRUE(std::isinf(session.fps()));
+  EXPECT_GT(session.fps(), 0.0);
+}
+
+TEST(DeviceSession, P95IsNearestRankPercentile) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  DeviceSession session(tx2);
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    FrameCost cost;
+    cost.detector_flops = i * kTinyFlops;
+    (void)session.process(cost);
+  }
+  // Nearest rank over 20 ascending latencies: ceil(0.95 * 20) = 19th
+  // smallest = the 19-unit frame.
+  EXPECT_DOUBLE_EQ(session.p95_latency_ms(),
+                   tx2.inference_latency_ms(19 * kTinyFlops));
+  EXPECT_GT(session.p95_latency_ms(), session.mean_latency_ms());
+}
+
+TEST(DeviceSession, DeadlineOverrunsCounted) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  DeviceSession session(tx2);
+  FrameCost relaxed;
+  relaxed.detector_flops = kTinyFlops;
+  relaxed.deadline_ms = 1e9;
+  FrameCost tight = relaxed;
+  tight.deadline_ms = 0.5;
+  FrameCost unbounded;
+  unbounded.detector_flops = kTinyFlops;  // deadline_ms = 0 disables
+  (void)session.process(relaxed);
+  (void)session.process(tight);
+  (void)session.process(unbounded);
+  EXPECT_EQ(session.deadline_overruns(), 1u);
+}
+
+TEST(DeviceSession, RetriedWeightChargesStreamingTime) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  DeviceSession clean(tx2);
+  DeviceSession retried(tx2);
+  FrameCost cost;
+  cost.detector_flops = kTinyFlops;
+  cost.loaded_weight_mb = 40.0;
+  const double clean_ms = clean.process(cost);
+  cost.retried_weight_mb = 80.0;  // two failed attempts re-streamed
+  const double retried_ms = retried.process(cost);
+  EXPECT_NEAR(retried_ms - clean_ms, 80.0 * tx2.load_ms_per_mb, 1e-9);
+}
+
+TEST(DeviceSession, InjectedLoadSpikeMultipliesLoadLatency) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  fault::FaultInjector injector;
+  injector.arm(fault::Site::kLoadLatencySpike, 1.0, 25.0);
+  DeviceSession clean(tx2);
+  DeviceSession spiked(tx2, 1.0, &injector);
+  FrameCost load_frame;
+  load_frame.loaded_weight_mb = 40.0;
+  FrameCost compute_frame;
+  compute_frame.detector_flops = kTinyFlops;
+  const double clean_load = clean.process(load_frame);
+  const double spiked_load = spiked.process(load_frame);
+  // Only the load stalls: the fixed dispatch overhead (charged even at
+  // zero FLOPs) is not multiplied.
+  EXPECT_NEAR(spiked_load,
+              25.0 * tx2.load_latency_ms(40.0, true) +
+                  tx2.inference_latency_ms(0),
+              1e-6);
+  EXPECT_GT(spiked_load, 20.0 * clean_load);
+  EXPECT_EQ(spiked.latency_spikes(), 1u);
+  // Frames that stream no weights never consult the injector.
+  (void)clean.process(compute_frame);
+  (void)spiked.process(compute_frame);
+  EXPECT_EQ(spiked.latency_spikes(), 1u);
+  EXPECT_EQ(injector.checks(fault::Site::kLoadLatencySpike), 1u);
 }
 
 /// Power-mode sweep: higher budgets give higher throughput (Fig. 11).

@@ -21,9 +21,33 @@ TEST(ModelCache, RejectsZeroCapacity) {
                std::invalid_argument);
 }
 
-TEST(ModelCache, RejectsEmptyRanking) {
+TEST(ModelCache, RejectsEmptyRankingWithoutPinnedFallback) {
   ModelCache cache(3, make_config(2, EvictionPolicy::kLfu));
   EXPECT_THROW((void)cache.admit({}), std::invalid_argument);
+}
+
+TEST(ModelCache, EmptyRankingServedByPinnedFallback) {
+  // The defined degradation for an empty ranking: the pinned fallback
+  // serves and the frame counts as a miss.
+  ModelCache cache(3, make_config(2, EvictionPolicy::kLfu));
+  cache.set_pinned_fallback(2);
+  EXPECT_EQ(cache.pinned_fallback(), 2u);
+  const auto admission = cache.admit({});
+  EXPECT_EQ(admission.served_model, 2u);
+  EXPECT_TRUE(admission.served_pinned);
+  EXPECT_FALSE(admission.hit);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.degraded_serves(), 1u);
+  EXPECT_TRUE(cache.contains(2));
+  // Once resident it keeps serving without reloading.
+  const auto again = cache.admit({});
+  EXPECT_EQ(again.served_model, 2u);
+  EXPECT_FALSE(again.loaded.has_value());
+}
+
+TEST(ModelCache, SetPinnedFallbackRejectsUnknownModel) {
+  ModelCache cache(3, make_config(2, EvictionPolicy::kLfu));
+  EXPECT_THROW(cache.set_pinned_fallback(3), std::out_of_range);
 }
 
 TEST(ModelCache, ColdStartLoadsTopOne) {
