@@ -1,10 +1,13 @@
 // Micro-benchmarks of the hot paths.
 //
 // Default mode runs a deterministic timing suite over the parallel
-// execution layer — matmul GFLOP/s, k-means wall time, and OSP end-to-end
-// wall time, each at 1 thread and at 4 threads — verifies that the
-// results are identical at both thread counts, and writes the numbers to
-// BENCH_micro.json in the working directory.
+// execution layer — matmul GFLOP/s, int8 qgemm vs fp32 matmul at a
+// detector layer shape, k-means wall time, and OSP end-to-end wall time,
+// each at 1 thread and at 4 threads — verifies that the results are
+// identical at both thread counts, then times the post-training quantize/
+// dequantize pass and fp32-v2 vs quantized-v3 artifact loads on the OSP
+// system, and writes the numbers to BENCH_micro.json in the working
+// directory.
 //
 // `bench_micro --gbench [google-benchmark flags]` instead runs the
 // google-benchmark suite (tensor matmul, detector forward, featurization,
@@ -17,12 +20,17 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
+#include <sstream>
 
 #include "bench/common.hpp"
 #include "cluster/kmeans.hpp"
+#include "core/artifact.hpp"
 #include "core/model_cache.hpp"
+#include "core/quantize.hpp"
 #include "detect/grid_detector.hpp"
 #include "sampling/thompson.hpp"
+#include "tensor/qgemm.hpp"
 #include "util/parallel.hpp"
 #include "world/featurizer.hpp"
 #include "world/world.hpp"
@@ -179,6 +187,97 @@ MatmulSample time_matmul(std::size_t n, int reps) {
   return sample;
 }
 
+/// fp32 matmul vs int8 qgemm microseconds per call at one layer shape
+/// (best of `reps` timed batches of `iters` calls), plus the int8 product
+/// for cross-thread-count bitwise comparison.
+struct GemmSample {
+  double fp32_us = 0.0;
+  double int8_us = 0.0;
+  Tensor int8_product;
+};
+
+GemmSample time_qgemm(std::size_t m, std::size_t k, std::size_t n, int reps,
+                      int iters) {
+  Rng rng(24);
+  Tensor x = Tensor::matrix(m, k);
+  Tensor w = Tensor::matrix(k, n);
+  for (auto& v : x.data()) v = static_cast<float>(rng.normal());
+  for (auto& v : w.data()) v = static_cast<float>(rng.normal());
+  const QuantizedMatrix q = quantize_weights(w);
+  GemmSample sample;
+  double best_fp32 = 1e30;
+  double best_int8 = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      Tensor c = matmul(x, w);
+      benchmark::DoNotOptimize(c.data().data());
+    }
+    best_fp32 = std::min(best_fp32, seconds_since(start));
+    start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      Tensor c = qgemm(x, q);
+      benchmark::DoNotOptimize(c.data().data());
+    }
+    best_int8 = std::min(best_int8, seconds_since(start));
+  }
+  sample.fp32_us = best_fp32 / iters * 1e6;
+  sample.int8_us = best_int8 / iters * 1e6;
+  sample.int8_product = qgemm(x, q);
+  return sample;
+}
+
+/// Quantize/dequantize pass wall time plus fp32-v2 vs quantized-v3
+/// artifact bytes and load latency on the OSP-trained system.
+struct QuantArtifactSample {
+  double quantize_seconds = 0.0;
+  double dequantize_seconds = 0.0;
+  std::size_t quantized_detectors = 0;
+  std::size_t rejected_detectors = 0;
+  std::size_t v2_bytes = 0;
+  std::size_t v3_bytes = 0;
+  double v2_load_seconds = 0.0;
+  double v3_load_seconds = 0.0;
+};
+
+double time_artifact_load(const std::string& blob, int reps) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    std::istringstream in(blob, std::ios::binary);
+    const auto start = std::chrono::steady_clock::now();
+    core::AnoleSystem loaded = core::load_system(in);
+    best = std::min(best, seconds_since(start));
+    benchmark::DoNotOptimize(loaded.model_count());
+  }
+  return best;
+}
+
+QuantArtifactSample time_quant_artifact(core::AnoleSystem& system) {
+  QuantArtifactSample sample;
+  std::ostringstream v2(std::ios::binary);
+  core::save_system(system, v2, 2);
+  const std::string v2_blob = v2.str();
+  sample.v2_bytes = v2_blob.size();
+  sample.v2_load_seconds = time_artifact_load(v2_blob, 3);
+
+  auto start = std::chrono::steady_clock::now();
+  const core::QuantizeReport report = core::quantize_system(system);
+  sample.quantize_seconds = seconds_since(start);
+  sample.quantized_detectors = report.quantized_detectors;
+  sample.rejected_detectors = report.rejected_detectors;
+
+  std::ostringstream v3(std::ios::binary);
+  core::save_system(system, v3, core::kArtifactVersion);
+  const std::string v3_blob = v3.str();
+  sample.v3_bytes = v3_blob.size();
+  sample.v3_load_seconds = time_artifact_load(v3_blob, 3);
+
+  start = std::chrono::steady_clock::now();
+  (void)core::dequantize_system(system);
+  sample.dequantize_seconds = seconds_since(start);
+  return sample;
+}
+
 struct KMeansSample {
   double seconds = 0.0;
   double inertia = 0.0;
@@ -208,10 +307,21 @@ struct OspSample {
   double mean_f1 = 0.0;
 };
 
+/// The trained OSP output, kept alive for the artifact timing section.
+/// The world must outlive the system: the repository's validation pools
+/// hold frame pointers into it (moving the world relocates only the
+/// top-level containers, so the pointers stay valid).
+struct OspArtifacts {
+  world::World world;
+  core::AnoleSystem system;
+};
+
 /// End-to-end offline scene profiling on a reduced world (the standard
 /// profiler on the full bench world takes minutes per run; this keeps the
 /// 1-vs-N comparison to tens of seconds while exercising every stage).
-OspSample time_osp() {
+/// When `keep` is non-null the trained world+system move out for the
+/// artifact timing section.
+OspSample time_osp(std::optional<OspArtifacts>* keep = nullptr) {
   world::WorldConfig world_config = bench::standard_world_config();
   world_config.frames_per_clip = 60;
   world_config.clip_scale = 0.2;
@@ -224,7 +334,7 @@ OspSample time_osp() {
   Rng rng(7);
   core::OfflineProfiler profiler(profiler_config);
   const auto start = std::chrono::steady_clock::now();
-  const core::AnoleSystem system = profiler.run(world, rng);
+  core::AnoleSystem system = profiler.run(world, rng);
   OspSample sample;
   sample.seconds = seconds_since(start);
   sample.models = system.repository.size();
@@ -232,6 +342,9 @@ OspSample time_osp() {
     sample.mean_f1 += system.repository.model(m).validation_f1;
   }
   if (sample.models > 0) sample.mean_f1 /= static_cast<double>(sample.models);
+  if (keep != nullptr) {
+    keep->emplace(OspArtifacts{std::move(world), std::move(system)});
+  }
   return sample;
 }
 
@@ -243,23 +356,39 @@ int run_json_suite() {
                "comparing 1 vs %zu pool threads\n",
                default_threads, kBenchThreads);
 
+  /// Detector L1 shape at a full-batch row count: the layer the int8 fast
+  /// path serves most often.
+  constexpr std::size_t kQgemmM = 144, kQgemmK = 42, kQgemmN = 16;
+
   par::set_thread_count(1);
   const MatmulSample matmul_1t = time_matmul(512, 5);
+  const GemmSample qgemm_1t = time_qgemm(kQgemmM, kQgemmK, kQgemmN, 5, 512);
   const KMeansSample kmeans_1t = time_kmeans(3);
   std::fprintf(stderr, "[bench_micro] OSP end-to-end at 1 thread...\n");
   const OspSample osp_1t = time_osp();
 
   par::set_thread_count(kBenchThreads);
   const MatmulSample matmul_nt = time_matmul(512, 5);
+  const GemmSample qgemm_nt = time_qgemm(kQgemmM, kQgemmK, kQgemmN, 5, 512);
   const KMeansSample kmeans_nt = time_kmeans(3);
   std::fprintf(stderr, "[bench_micro] OSP end-to-end at %zu threads...\n",
                kBenchThreads);
-  const OspSample osp_nt = time_osp();
+  std::optional<OspArtifacts> osp_out;
+  const OspSample osp_nt = time_osp(&osp_out);
   par::set_thread_count(0);
+
+  std::fprintf(stderr,
+               "[bench_micro] quantize pass + artifact v2/v3 loads...\n");
+  const QuantArtifactSample quant = time_quant_artifact(osp_out->system);
 
   const bool matmul_identical =
       std::memcmp(&matmul_1t.checksum, &matmul_nt.checksum, sizeof(float)) ==
       0;
+  const bool qgemm_identical =
+      qgemm_1t.int8_product.size() == qgemm_nt.int8_product.size() &&
+      std::memcmp(qgemm_1t.int8_product.data().data(),
+                  qgemm_nt.int8_product.data().data(),
+                  qgemm_1t.int8_product.size() * sizeof(float)) == 0;
   const bool kmeans_identical =
       std::memcmp(&kmeans_1t.inertia, &kmeans_nt.inertia, sizeof(double)) ==
       0;
@@ -283,6 +412,37 @@ int run_json_suite() {
   std::fprintf(out, "    \"identical_results\": %s\n",
                matmul_identical ? "true" : "false");
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"qgemm_144x42x16\": {\n");
+  std::fprintf(out, "    \"fp32_us_threads_1\": %.4f,\n", qgemm_1t.fp32_us);
+  std::fprintf(out, "    \"int8_us_threads_1\": %.4f,\n", qgemm_1t.int8_us);
+  std::fprintf(out, "    \"fp32_us_threads_n\": %.4f,\n", qgemm_nt.fp32_us);
+  std::fprintf(out, "    \"int8_us_threads_n\": %.4f,\n", qgemm_nt.int8_us);
+  std::fprintf(out, "    \"int8_speedup_vs_fp32\": %.4f,\n",
+               qgemm_1t.fp32_us / qgemm_1t.int8_us);
+  std::fprintf(out, "    \"identical_results\": %s\n",
+               qgemm_identical ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"quantize_pass\": {\n");
+  std::fprintf(out, "    \"quantize_seconds\": %.6f,\n",
+               quant.quantize_seconds);
+  std::fprintf(out, "    \"dequantize_seconds\": %.6f,\n",
+               quant.dequantize_seconds);
+  std::fprintf(out, "    \"quantized_detectors\": %zu,\n",
+               quant.quantized_detectors);
+  std::fprintf(out, "    \"rejected_detectors\": %zu\n",
+               quant.rejected_detectors);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"artifact_load\": {\n");
+  std::fprintf(out, "    \"v2_fp32_bytes\": %zu,\n", quant.v2_bytes);
+  std::fprintf(out, "    \"v3_quantized_bytes\": %zu,\n", quant.v3_bytes);
+  std::fprintf(out, "    \"bytes_ratio\": %.4f,\n",
+               static_cast<double>(quant.v2_bytes) /
+                   static_cast<double>(quant.v3_bytes));
+  std::fprintf(out, "    \"v2_load_seconds\": %.6f,\n",
+               quant.v2_load_seconds);
+  std::fprintf(out, "    \"v3_load_seconds\": %.6f\n",
+               quant.v3_load_seconds);
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"kmeans_2000x48_k16\": {\n");
   std::fprintf(out, "    \"seconds_threads_1\": %.6f,\n", kmeans_1t.seconds);
   std::fprintf(out, "    \"seconds_threads_n\": %.6f,\n", kmeans_nt.seconds);
@@ -303,16 +463,20 @@ int run_json_suite() {
   std::fprintf(out, "}\n");
   std::fclose(out);
 
+  const bool all_identical = matmul_identical && qgemm_identical &&
+                             kmeans_identical && osp_identical;
   std::fprintf(stderr,
-               "[bench_micro] matmul %.2f -> %.2f GFLOP/s, kmeans %.3fs -> "
-               "%.3fs, OSP %.1fs -> %.1fs; determinism %s; wrote "
-               "BENCH_micro.json\n",
-               matmul_1t.gflops, matmul_nt.gflops, kmeans_1t.seconds,
-               kmeans_nt.seconds, osp_1t.seconds, osp_nt.seconds,
-               (matmul_identical && kmeans_identical && osp_identical)
-                   ? "OK"
-                   : "FAILED");
-  return (matmul_identical && kmeans_identical && osp_identical) ? 0 : 1;
+               "[bench_micro] matmul %.2f -> %.2f GFLOP/s, qgemm int8 "
+               "%.1fus vs fp32 %.1fus (%.2fx), kmeans %.3fs -> %.3fs, OSP "
+               "%.1fs -> %.1fs, artifact v2 %zuB/%.3fs vs v3 %zuB/%.3fs; "
+               "determinism %s; wrote BENCH_micro.json\n",
+               matmul_1t.gflops, matmul_nt.gflops, qgemm_1t.int8_us,
+               qgemm_1t.fp32_us, qgemm_1t.fp32_us / qgemm_1t.int8_us,
+               kmeans_1t.seconds, kmeans_nt.seconds, osp_1t.seconds,
+               osp_nt.seconds, quant.v2_bytes, quant.v2_load_seconds,
+               quant.v3_bytes, quant.v3_load_seconds,
+               all_identical ? "OK" : "FAILED");
+  return all_identical ? 0 : 1;
 }
 
 }  // namespace

@@ -25,6 +25,12 @@ Rules (each failure prints `file:line: rule-id: message`):
                        ladder, never aborted. Contract violations go through
                        the ANOLE_CHECK macros (util/check.hpp), which keep
                        precondition errors out of the steady-state path.
+  no-reinterpret-cast  reinterpret_cast is banned outside the two sanctioned
+                       homes for raw weight-byte access: the pod stream
+                       helpers (src/nn/serialize.hpp) and the SIMD kernel
+                       (src/tensor/qgemm.cpp). Everything else must go
+                       through those helpers so weight bytes have exactly
+                       one (de)serialization path to audit.
 
 Usage: anole_lint.py [repo-root]   (exits non-zero on any finding)
 """
@@ -46,10 +52,14 @@ RE_USING_NAMESPACE = re.compile(r"\busing\s+namespace\b")
 RE_COUT = re.compile(r"\bstd\s*::\s*cout\b")
 RE_RAW_THREAD = re.compile(r"\bstd\s*::\s*(?:thread|jthread|async)\b")
 RE_THROW = re.compile(r"\bthrow\b")
+RE_REINTERPRET_CAST = re.compile(r"\breinterpret_cast\b")
 RE_INCLUDE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
 
 # The per-frame OMI hot path: a fault here must degrade, never abort.
 NO_THROW_FILES = {"src/core/engine.cpp", "src/core/model_cache.cpp"}
+
+# The only files allowed to reinterpret_cast raw weight/SIMD bytes.
+REINTERPRET_CAST_FILES = {"src/nn/serialize.hpp", "src/tensor/qgemm.cpp"}
 
 
 def strip_comments_and_strings(line: str, in_block_comment: bool):
@@ -149,6 +159,11 @@ def lint_file(path: Path, rel: Path):
             findings.append((number, "no-throw-omi-hot-path",
                              "literal throw banned in the OMI hot path; "
                              "degrade via the ladder or use ANOLE_CHECK"))
+        if (rel_str not in REINTERPRET_CAST_FILES
+                and RE_REINTERPRET_CAST.search(line)):
+            findings.append((number, "no-reinterpret-cast",
+                             "reinterpret_cast banned here; route raw byte "
+                             "access through nn/serialize.hpp pod helpers"))
 
     if path.suffix == ".cpp" and rel_str.startswith("src/"):
         own_header = path.with_suffix(".hpp")

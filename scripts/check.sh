@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full correctness gate: lint, Release build + tests, ASan+UBSan build +
-# tests, TSan build + tests, and a fault-matrix pass (tier-1 tests under a
-# canned ANOLE_FAULTS schedule on the sanitizer build). Non-zero exit on
-# the first failure. Run from anywhere.
+# tests, TSan build + tests, a fault-matrix pass (tier-1 tests under a
+# canned ANOLE_FAULTS schedule on the sanitizer build), and a quantized
+# pass (tier-1 tests with ANOLE_QUANT=1 on the sanitizer build). Non-zero
+# exit on the first failure. Run from anywhere.
 set -euo pipefail
 
 repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -10,21 +11,21 @@ cd "$repo_root"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/5] repo lint"
+echo "==> [1/6] repo lint"
 python3 scripts/anole_lint.py .
 
-echo "==> [2/5] Release build + tests (warnings are errors)"
+echo "==> [2/6] Release build + tests (warnings are errors)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DANOLE_WERROR=ON
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-echo "==> [3/5] ASan+UBSan Debug build + tests"
+echo "==> [3/6] ASan+UBSan Debug build + tests"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   "-DANOLE_SANITIZE=address;undefined" -DANOLE_WERROR=ON
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "==> [4/5] TSan build + tests (thread pool race check)"
+echo "==> [4/6] TSan build + tests (thread pool race check)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DANOLE_SANITIZE=thread -DANOLE_WERROR=ON
 cmake --build build-tsan -j "$jobs"
@@ -32,7 +33,7 @@ cmake --build build-tsan -j "$jobs"
 # single-core CI hosts: TSan has races to look at either way.
 ANOLE_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$jobs"
 
-echo "==> [5/5] fault matrix: tier-1 tests under injected faults (ASan)"
+echo "==> [5/6] fault matrix: tier-1 tests under injected faults (ASan)"
 # Every AnoleEngine built without an explicit injector picks this schedule
 # up from the environment (each engine re-seeds its own streams, so test
 # order cannot perturb outcomes). The suite must stay green while the
@@ -40,5 +41,12 @@ echo "==> [5/5] fault matrix: tier-1 tests under injected faults (ASan)"
 # recovery paths for memory errors.
 ANOLE_FAULTS="seed=1337,model_load=0.01,artifact_section=0.01,decision_output=0.01,frame_payload=0.005,load_latency_spike=0.02x25" \
   ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "==> [6/6] quantized execution: tier-1 tests with ANOLE_QUANT=1 (ASan)"
+# Forces the int8 fast path on explicitly (it is also the default) so the
+# quantized kernels, the artifact v3 sections, and the engine's precision
+# accounting run under ASan+UBSan even if a future change flips the
+# default off.
+ANOLE_QUANT=1 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
 echo "check.sh: all gates passed"

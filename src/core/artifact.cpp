@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/quantize.hpp"
 #include "nn/serialize.hpp"
 
 namespace anole::core {
@@ -13,6 +14,11 @@ namespace {
 constexpr std::array<char, 8> kMagic = {'A', 'N', 'O', 'L',
                                         'E', 'S', 'Y', 'S'};
 constexpr std::uint32_t kVersionLegacy = 1;
+constexpr std::uint32_t kVersionSections = 2;
+
+using nn::read_pod;
+using nn::try_read_pod;
+using nn::write_pod;
 
 // v2 section tags. Vital sections are written first so tail truncation
 // can only damage model sections.
@@ -24,19 +30,6 @@ constexpr std::uint32_t kSectionModel = 4;
 // Upper bound on a single section payload; a corrupted size field must
 // not turn into a multi-gigabyte allocation.
 constexpr std::uint64_t kMaxSectionBytes = 1ull << 30;
-
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("load_system: truncated stream");
-  return value;
-}
 
 void write_string(std::ostream& out, const std::string& value) {
   write_pod(out, static_cast<std::uint32_t>(value.size()));
@@ -136,6 +129,96 @@ SceneModel read_model(std::istream& in, Rng& rng) {
   return model;
 }
 
+// --- v3 compact payloads: narrow metadata fields plus the precision-
+// tagged nn::save_network body. The framing (sections, CRCs, recovery)
+// is identical to v2; only the payload encoding differs. ---
+
+void write_u16_vector(std::ostream& out,
+                      const std::vector<std::size_t>& values) {
+  if (values.size() > 0xFFFF) {
+    throw std::runtime_error("save_system: vector too long for v3");
+  }
+  write_pod(out, static_cast<std::uint16_t>(values.size()));
+  for (std::size_t v : values) {
+    if (v > 0xFFFF) {
+      throw std::runtime_error("save_system: value too large for v3");
+    }
+    write_pod(out, static_cast<std::uint16_t>(v));
+  }
+}
+
+std::vector<std::size_t> read_u16_vector(std::istream& in) {
+  const auto count = read_pod<std::uint16_t>(in);
+  std::vector<std::size_t> values(count);
+  for (auto& v : values) {
+    v = static_cast<std::size_t>(read_pod<std::uint16_t>(in));
+  }
+  return values;
+}
+
+void write_model_v3(std::ostream& out, SceneModel& model) {
+  write_string(out, model.name);
+  write_u16_vector(out, model.scene_classes);
+  write_pod(out, model.validation_f1);
+  write_pod(out, static_cast<std::uint16_t>(model.cluster_k));
+  const auto& config = model.detector->config();
+  write_pod(out, static_cast<std::uint16_t>(model.detector->grid_size()));
+  write_u16_vector(out, config.hidden);
+  write_pod(out, config.confidence_threshold);
+  write_pod(out, config.nms_threshold);
+  write_pod(out, config.nms_center_distance);
+  nn::save_network(model.detector->network(), out);
+}
+
+SceneModel read_model_v3(std::istream& in, Rng& rng) {
+  SceneModel model;
+  model.name = read_string(in);
+  model.scene_classes = read_u16_vector(in);
+  model.validation_f1 = read_pod<double>(in);
+  model.cluster_k = static_cast<std::size_t>(read_pod<std::uint16_t>(in));
+  const auto grid_size =
+      static_cast<std::size_t>(read_pod<std::uint16_t>(in));
+  detect::GridDetectorConfig config;
+  config.hidden = read_u16_vector(in);
+  config.confidence_threshold = read_pod<double>(in);
+  config.nms_threshold = read_pod<double>(in);
+  config.nms_center_distance = read_pod<double>(in);
+  config.name = model.name;
+  model.detector =
+      std::make_unique<detect::GridDetector>(config, rng, grid_size);
+  nn::load_network(model.detector->network(), in);
+  return model;
+}
+
+void write_decision_v3(std::ostream& out, AnoleSystem& system) {
+  write_pod(out,
+            static_cast<std::uint16_t>(system.decision->config().hidden_width));
+  write_pod(out, static_cast<std::uint16_t>(system.decision->model_count()));
+  nn::save_network(system.decision->head(), out);
+}
+
+void read_decision_v3(std::istream& in, AnoleSystem& system, Rng& rng) {
+  DecisionModelConfig decision_config;
+  decision_config.hidden_width =
+      static_cast<std::size_t>(read_pod<std::uint16_t>(in));
+  const auto decision_models = read_pod<std::uint16_t>(in);
+  system.decision = std::make_unique<DecisionModel>(
+      *system.encoder, decision_models, decision_config, rng);
+  nn::load_network(system.decision->head(), in);
+}
+
+/// True when any network in the system carries a quantized layer; v1/v2
+/// writers must reject such systems (their fp32 parameter walk would
+/// silently drop quantized weights).
+bool any_quantized(AnoleSystem& system) {
+  for (std::size_t m = 0; m < system.repository.size(); ++m) {
+    if (nn::is_quantized(system.repository.model(m).detector->network())) {
+      return true;
+    }
+  }
+  return system.decision && nn::is_quantized(system.decision->head());
+}
+
 void write_decision(std::ostream& out, AnoleSystem& system) {
   write_pod(out,
             static_cast<std::uint64_t>(system.decision->config().hidden_width));
@@ -198,7 +281,8 @@ void load_system_v1(std::istream& in, AnoleSystem& system, Rng& rng) {
   read_decision(in, system, rng);
 }
 
-void save_system_v2(AnoleSystem& system, std::ostream& out) {
+void save_system_sections(AnoleSystem& system, std::ostream& out,
+                          std::uint32_t version) {
   const auto model_count =
       static_cast<std::uint32_t>(system.repository.size());
   write_pod(out, model_count);
@@ -207,17 +291,27 @@ void save_system_v2(AnoleSystem& system, std::ostream& out) {
                 [&](std::ostream& s) { write_scene_index(s, system); });
   write_section(out, kSectionEncoder,
                 [&](std::ostream& s) { write_encoder(s, system); });
-  write_section(out, kSectionDecision,
-                [&](std::ostream& s) { write_decision(s, system); });
+  write_section(out, kSectionDecision, [&](std::ostream& s) {
+    if (version >= kArtifactVersion) {
+      write_decision_v3(s, system);
+    } else {
+      write_decision(s, system);
+    }
+  });
   for (std::uint32_t m = 0; m < model_count; ++m) {
     write_section(out, kSectionModel, [&](std::ostream& s) {
-      write_model(s, system.repository.model(m));
+      if (version >= kArtifactVersion) {
+        write_model_v3(s, system.repository.model(m));
+      } else {
+        write_model(s, system.repository.model(m));
+      }
     });
   }
 }
 
-void load_system_v2(std::istream& in, AnoleSystem& system,
-                    fault::FaultInjector* faults, Rng& rng) {
+void load_system_sections(std::istream& in, AnoleSystem& system,
+                          fault::FaultInjector* faults, Rng& rng,
+                          std::uint32_t version) {
   const auto model_count = read_pod<std::uint32_t>(in);
   const auto section_count = read_pod<std::uint32_t>(in);
   bool have_index = false;
@@ -232,10 +326,8 @@ void load_system_v2(std::istream& in, AnoleSystem& system,
     std::uint32_t tag = 0;
     std::uint64_t size = 0;
     std::uint32_t expected_crc = 0;
-    in.read(reinterpret_cast<char*>(&tag), sizeof(tag));
-    in.read(reinterpret_cast<char*>(&size), sizeof(size));
-    in.read(reinterpret_cast<char*>(&expected_crc), sizeof(expected_crc));
-    if (!in) {
+    if (!try_read_pod(in, tag) || !try_read_pod(in, size) ||
+        !try_read_pod(in, expected_crc)) {
       if (have_index && have_encoder && have_decision) {
         truncated = true;
         break;
@@ -278,7 +370,9 @@ void load_system_v2(std::istream& in, AnoleSystem& system,
       if (intact) {
         std::istringstream section(payload, std::ios::binary);
         try {
-          system.repository.add(read_model(section, rng));
+          system.repository.add(version >= kArtifactVersion
+                                    ? read_model_v3(section, rng)
+                                    : read_model(section, rng));
           added = true;
         } catch (const std::exception&) {
           // CRC passed but the payload would not parse; treat the slot
@@ -312,7 +406,11 @@ void load_system_v2(std::istream& in, AnoleSystem& system,
           throw std::runtime_error(
               "load_system: decision section before encoder");
         }
-        read_decision(section, system, rng);
+        if (version >= kArtifactVersion) {
+          read_decision_v3(section, system, rng);
+        } else {
+          read_decision(section, system, rng);
+        }
         have_decision = true;
         break;
       default:
@@ -345,16 +443,22 @@ void save_system(AnoleSystem& system, std::ostream& out,
   if (!system.encoder || !system.decision) {
     throw std::runtime_error("save_system: incomplete system");
   }
-  if (version != kVersionLegacy && version != kArtifactVersion) {
+  if (version != kVersionLegacy && version != kVersionSections &&
+      version != kArtifactVersion) {
     throw std::runtime_error("save_system: unsupported version " +
                              std::to_string(version));
+  }
+  if (version < kArtifactVersion && any_quantized(system)) {
+    throw std::runtime_error(
+        "save_system: version " + std::to_string(version) +
+        " cannot represent quantized layers; use v3 or dequantize first");
   }
   out.write(kMagic.data(), kMagic.size());
   write_pod(out, version);
   if (version == kVersionLegacy) {
     save_system_v1(system, out);
   } else {
-    save_system_v2(system, out);
+    save_system_sections(system, out, version);
   }
   if (!out) throw std::runtime_error("save_system: write failed");
 }
@@ -374,10 +478,22 @@ AnoleSystem load_system(std::istream& in, fault::FaultInjector* faults) {
 
   if (version == kVersionLegacy) {
     load_system_v1(in, system, rng);
-  } else if (version == kArtifactVersion) {
-    load_system_v2(in, system, faults, rng);
+  } else if (version == kVersionSections || version == kArtifactVersion) {
+    load_system_sections(in, system, faults, rng, version);
   } else {
     throw std::runtime_error("load_system: unsupported version");
+  }
+  // The ANOLE_QUANT=0 escape hatch: serve fp32 even from a quantized
+  // artifact (the dequantized weights are the codes the int8 kernel
+  // would have used, so accuracy is unchanged; only speed is).
+  if (!nn::quantization_enabled()) {
+    for (std::size_t m = 0; m < system.repository.size(); ++m) {
+      nn::dequantize_linear_layers(
+          system.repository.model(m).detector->network());
+    }
+    if (system.decision) {
+      nn::dequantize_linear_layers(system.decision->head());
+    }
   }
   return system;
 }

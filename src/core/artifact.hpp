@@ -15,6 +15,17 @@
 // model id is recorded in AnoleSystem::damaged_models, and the engine
 // quarantines it permanently. Corruption in a vital section throws.
 // Version-1 blobs (unsectioned, no checksums) still load.
+//
+// Format v3 (quantized sections, DESIGN.md §10) keeps v2's framing —
+// identical blob header, section headers, CRC-32 policy, and recovery
+// ladder — but stores model and decision sections compactly: narrow
+// metadata fields plus the precision-tagged nn::save_network payload, so
+// int8-quantized layers ship as int8 weights + fp16 scales (~4x fewer
+// bytes on a cache miss). The encoder section stays fp32 (its trunk is
+// shared with the decision head and is never quantized). Saving a
+// quantized system requires v3; v1/v2 writers reject it rather than
+// silently dropping quantized weights. Loads honor ANOLE_QUANT=0 by
+// dequantizing every network to fp32 before returning.
 #pragma once
 
 #include <cstdint>
@@ -26,12 +37,15 @@
 namespace anole::core {
 
 /// Latest artifact format version written by save_system.
-inline constexpr std::uint32_t kArtifactVersion = 2;
+inline constexpr std::uint32_t kArtifactVersion = 3;
 
 /// Writes the full system (scene index, M_scene, every compressed model
 /// with its metadata, M_decision head) to `out`. `version` selects the
-/// blob format (1 = legacy unsectioned, 2 = CRC-guarded sections).
-/// Throws std::runtime_error on I/O failure.
+/// blob format (1 = legacy unsectioned, 2 = CRC-guarded fp32
+/// sections, 3 = CRC-guarded sections with compact quantized payloads).
+/// Throws std::runtime_error on I/O failure, and when `version` < 3
+/// and the system carries quantized layers (older formats cannot
+/// represent them).
 void save_system(AnoleSystem& system, std::ostream& out,
                  std::uint32_t version = kArtifactVersion);
 

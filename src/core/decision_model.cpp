@@ -146,7 +146,9 @@ std::uint64_t DecisionModel::flops_per_sample() const {
 }
 
 std::uint64_t DecisionModel::head_weight_bytes() {
-  return nn::serialized_size_bytes(*head_);
+  // Matches the artifact accounting: ANOLEWTS blob size while fp32, the
+  // compact precision-tagged size once quantized (artifact v3).
+  return nn::streamed_weight_bytes(*head_);
 }
 
 }  // namespace anole::core

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "nn/quantize.hpp"
 #include "util/check.hpp"
 
 namespace anole::core {
@@ -170,8 +171,11 @@ EngineResult AnoleEngine::process_with_suitability(
     result.health.payload_corrupt = true;
     ++payload_corrupt_frames_;
   } else {
-    result.detections =
-        system_->repository.detector(admission.served_model).detect(frame);
+    detect::GridDetector& served =
+        system_->repository.detector(admission.served_model);
+    result.health.served_quantized = nn::is_quantized(served.network());
+    if (result.health.served_quantized) ++quantized_frames_;
+    result.detections = served.detect(frame);
   }
 
   result.model_switched =
@@ -180,6 +184,14 @@ EngineResult AnoleEngine::process_with_suitability(
   last_served_ = admission.served_model;
   ++frames_;
   return result;
+}
+
+bool AnoleEngine::decision_quantized() const {
+  return system_->decision && nn::is_quantized(system_->decision->head());
+}
+
+bool AnoleEngine::model_quantized(std::size_t model) const {
+  return nn::is_quantized(system_->repository.detector(model).network());
 }
 
 }  // namespace anole::core

@@ -76,6 +76,9 @@ struct EngineResult {
     bool served_degraded = false;
     /// Model newly quarantined while processing this frame, if any.
     std::optional<std::size_t> quarantined;
+    /// True when the serving detector ran int8-quantized layers (the
+    /// artifact v3 fast path); false for fp32 or payload-corrupt frames.
+    bool served_quantized = false;
   };
 
   std::vector<detect::Detection> detections;
@@ -137,6 +140,15 @@ class AnoleEngine {
   /// admissible.
   std::size_t degraded_frames() const { return degraded_frames_; }
 
+  /// --- active-precision introspection (artifact v3 / ANOLE_QUANT) ---
+
+  /// Frames whose serving detector ran int8.
+  std::size_t quantized_frames() const { return quantized_frames_; }
+  /// True when the M_decision head currently carries int8 layers.
+  bool decision_quantized() const;
+  /// True when detector `model` currently carries int8 layers.
+  bool model_quantized(std::size_t model) const;
+
   /// This engine's injector; null when running fault-free.
   const fault::FaultInjector* faults() const { return faults_.get(); }
   fault::FaultInjector* faults() { return faults_.get(); }
@@ -161,6 +173,7 @@ class AnoleEngine {
   std::size_t nonfinite_frames_ = 0;
   std::size_t payload_corrupt_frames_ = 0;
   std::size_t degraded_frames_ = 0;
+  std::size_t quantized_frames_ = 0;
   std::optional<std::size_t> last_served_;
 };
 

@@ -180,7 +180,10 @@ std::uint64_t GridDetector::flops_per_frame() const {
 }
 
 std::uint64_t GridDetector::weight_bytes() {
-  return nn::serialized_size_bytes(*network_);
+  // fp32 networks report the ANOLEWTS blob size (artifact v1/v2
+  // accounting); quantized networks report the compact v3 wire size, so
+  // cache misses charge ~4x fewer streamed bytes.
+  return nn::streamed_weight_bytes(*network_);
 }
 
 }  // namespace anole::detect

@@ -28,6 +28,7 @@ double DeviceSession::process(const FrameCost& cost) {
       ++latency_spikes_;
     }
     latency += load_ms;
+    if (cost.quantized) ++quantized_loads_;
   }
   if (cost.decision_flops > 0) {
     latency += profile_.inference_latency_ms(cost.decision_flops,

@@ -34,6 +34,10 @@ struct FrameCost {
   double retried_weight_mb = 0.0;
   /// Latency budget for this frame in ms; 0 disables the deadline check.
   double deadline_ms = 0.0;
+  /// True when the weights streamed this frame were int8-quantized
+  /// (artifact v3 sections); purely an accounting tag — the MB fields
+  /// above already reflect the smaller payload.
+  bool quantized = false;
 };
 
 class DeviceSession {
@@ -61,6 +65,8 @@ class DeviceSession {
   std::size_t deadline_overruns() const { return deadline_overruns_; }
   /// Frames whose load latency was hit by an injected I/O spike.
   std::size_t latency_spikes() const { return latency_spikes_; }
+  /// Weight-streaming frames that loaded quantized (int8) sections.
+  std::size_t quantized_loads() const { return quantized_loads_; }
 
   /// Average throughput over the session. Convention: an empty session
   /// reports 0; a non-empty session whose total time is <= 0 ms (all
@@ -77,6 +83,7 @@ class DeviceSession {
   double total_ms_ = 0.0;
   std::size_t deadline_overruns_ = 0;
   std::size_t latency_spikes_ = 0;
+  std::size_t quantized_loads_ = 0;
 };
 
 }  // namespace anole::device

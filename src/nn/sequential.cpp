@@ -10,6 +10,14 @@ Sequential& Sequential::add(ModulePtr module) {
   return *this;
 }
 
+ModulePtr Sequential::replace(std::size_t i, ModulePtr module) {
+  ANOLE_CHECK_LT(i, modules_.size(), "Sequential::replace: index out of range");
+  ANOLE_CHECK_NOTNULL(module, "Sequential::replace: null module");
+  module->set_training(training());
+  std::swap(modules_[i], module);
+  return module;
+}
+
 Tensor Sequential::forward(const Tensor& input) {
   Tensor current = input;
   for (auto& module : modules_) current = module->forward(current);

@@ -32,6 +32,12 @@ class Sequential : public Module {
   std::size_t size() const { return modules_.size(); }
   Module& at(std::size_t i) { return *modules_.at(i); }
 
+  /// Swaps the module at position `i` for `module` and returns the old
+  /// one. Used by the post-training quantization pass (nn/quantize.hpp)
+  /// so callers can restore the original layer when a quantized model
+  /// fails its accuracy guard.
+  ModulePtr replace(std::size_t i, ModulePtr module);
+
  private:
   std::vector<ModulePtr> modules_;
 };

@@ -1,11 +1,12 @@
 #include "nn/serialize.hpp"
 
 #include <array>
-#include <cstring>
 #include <fstream>
-#include <istream>
-#include <ostream>
-#include <stdexcept>
+#include <sstream>
+#include <vector>
+
+#include "nn/quantize.hpp"
+#include "tensor/qgemm.hpp"
 
 namespace anole::nn {
 namespace {
@@ -14,20 +15,29 @@ constexpr std::array<char, 8> kMagic = {'A', 'N', 'O', 'L',
                                         'E', 'W', 'T', 'S'};
 constexpr std::uint32_t kVersion = 1;
 
-template <typename T>
-void write_pod(std::ostream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+/// Precision tags of the compact network format (one byte per Linear).
+constexpr std::uint8_t kTagFp32 = 0;
+constexpr std::uint8_t kTagInt8 = 1;
+
+void write_fp16_span(std::ostream& out, std::span<const float> values) {
+  for (const float v : values) write_pod(out, float_to_half(v));
 }
 
-template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("load_parameters: truncated stream");
-  return value;
+void read_fp16_span(std::istream& in, std::span<float> values) {
+  for (float& v : values) v = half_to_float(read_pod<std::uint16_t>(in));
 }
 
 }  // namespace
+
+void write_bytes(std::ostream& out, const void* data, std::size_t size) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+}
+
+void read_bytes(std::istream& in, void* data, std::size_t size) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (!in) throw std::runtime_error("read_bytes: truncated stream");
+}
 
 void save_parameters(Module& module, std::ostream& out) {
   out.write(kMagic.data(), kMagic.size());
@@ -39,8 +49,7 @@ void save_parameters(Module& module, std::ostream& out) {
     write_pod(out, static_cast<std::uint32_t>(shape.size()));
     for (std::size_t d : shape) write_pod(out, static_cast<std::uint64_t>(d));
     const auto data = p->value.data();
-    out.write(reinterpret_cast<const char*>(data.data()),
-              static_cast<std::streamsize>(data.size() * sizeof(float)));
+    write_bytes(out, data.data(), data.size() * sizeof(float));
   }
   if (!out) throw std::runtime_error("save_parameters: write failed");
 }
@@ -70,9 +79,7 @@ void load_parameters(Module& module, std::istream& in) {
       throw std::runtime_error("load_parameters: shape mismatch");
     }
     auto data = p->value.data();
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!in) throw std::runtime_error("load_parameters: truncated payload");
+    read_bytes(in, data.data(), data.size() * sizeof(float));
   }
 }
 
@@ -86,6 +93,115 @@ void load_parameters_from_file(Module& module, const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open for read: " + path);
   load_parameters(module, in);
+}
+
+std::uint64_t serialized_size_bytes(Module& module) {
+  std::uint64_t bytes = kMagic.size() + sizeof(kVersion) +
+                        sizeof(std::uint32_t);
+  for (Parameter* p : module.parameters()) {
+    bytes += sizeof(std::uint32_t);
+    bytes += p->value.shape().size() * sizeof(std::uint64_t);
+    bytes += p->value.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+void save_network(Sequential& net, std::ostream& out) {
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    Module& module = net.at(i);
+    if (auto* linear = dynamic_cast<Linear*>(&module)) {
+      write_pod(out, kTagFp32);
+      const auto weight = linear->weight().value.data();
+      write_bytes(out, weight.data(), weight.size() * sizeof(float));
+      const auto bias = linear->bias().value.data();
+      write_bytes(out, bias.data(), bias.size() * sizeof(float));
+      continue;
+    }
+    if (auto* quantized = dynamic_cast<QuantizedLinear*>(&module)) {
+      write_pod(out, kTagInt8);
+      const QuantizedMatrix& w = quantized->quantized_weights();
+      write_bytes(out, w.data.data(), w.data.size());
+      write_fp16_span(out, w.scales);
+      write_fp16_span(out, quantized->bias().data());
+      continue;
+    }
+    // Any other parameterized layer (e.g. LayerNorm): raw fp32 values in
+    // declaration order, no tag — the reader walks the same architecture.
+    for (Parameter* p : module.parameters()) {
+      const auto data = p->value.data();
+      write_bytes(out, data.data(), data.size() * sizeof(float));
+    }
+  }
+  if (!out) throw std::runtime_error("save_network: write failed");
+}
+
+void load_network(Sequential& net, std::istream& in) {
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    Module& module = net.at(i);
+    if (auto* linear = dynamic_cast<Linear*>(&module)) {
+      const auto tag = read_pod<std::uint8_t>(in);
+      if (tag == kTagFp32) {
+        auto weight = linear->weight().value.data();
+        read_bytes(in, weight.data(), weight.size() * sizeof(float));
+        auto bias = linear->bias().value.data();
+        read_bytes(in, bias.data(), bias.size() * sizeof(float));
+      } else if (tag == kTagInt8) {
+        QuantizedMatrix w;
+        w.depth = linear->in_features();
+        w.channels = linear->out_features();
+        w.data.resize(w.channels * w.depth);
+        read_bytes(in, w.data.data(), w.data.size());
+        w.scales.resize(w.channels);
+        read_fp16_span(in, w.scales);
+        Tensor bias(Shape{w.channels});
+        read_fp16_span(in, bias.data());
+        net.replace(i, std::make_unique<QuantizedLinear>(std::move(w),
+                                                         std::move(bias)));
+      } else {
+        throw std::runtime_error("load_network: unknown precision tag");
+      }
+      continue;
+    }
+    if (dynamic_cast<QuantizedLinear*>(&module) != nullptr) {
+      // Loading always starts from a freshly constructed fp32 network.
+      throw std::runtime_error(
+          "load_network: target network is already quantized");
+    }
+    for (Parameter* p : module.parameters()) {
+      auto data = p->value.data();
+      read_bytes(in, data.data(), data.size() * sizeof(float));
+    }
+  }
+}
+
+std::uint64_t network_wire_bytes(Sequential& net) {
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    Module& module = net.at(i);
+    if (auto* linear = dynamic_cast<Linear*>(&module)) {
+      bytes += sizeof(std::uint8_t);
+      bytes += (linear->weight().value.size() + linear->bias().value.size()) *
+               sizeof(float);
+      continue;
+    }
+    if (auto* quantized = dynamic_cast<QuantizedLinear*>(&module)) {
+      bytes += sizeof(std::uint8_t);
+      bytes += quantized->quantized_weights().data.size();
+      bytes += quantized->quantized_weights().scales.size() *
+               sizeof(std::uint16_t);
+      bytes += quantized->bias().size() * sizeof(std::uint16_t);
+      continue;
+    }
+    for (Parameter* p : module.parameters()) {
+      bytes += p->value.size() * sizeof(float);
+    }
+  }
+  return bytes;
+}
+
+std::uint64_t streamed_weight_bytes(Sequential& net) {
+  return is_quantized(net) ? network_wire_bytes(net)
+                           : serialized_size_bytes(net);
 }
 
 std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
@@ -108,17 +224,6 @@ std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
     crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
   }
   return crc ^ 0xFFFFFFFFu;
-}
-
-std::uint64_t serialized_size_bytes(Module& module) {
-  std::uint64_t bytes = kMagic.size() + sizeof(kVersion) +
-                        sizeof(std::uint32_t);
-  for (Parameter* p : module.parameters()) {
-    bytes += sizeof(std::uint32_t);
-    bytes += p->value.shape().size() * sizeof(std::uint64_t);
-    bytes += p->value.size() * sizeof(float);
-  }
-  return bytes;
 }
 
 }  // namespace anole::nn

@@ -51,6 +51,41 @@ void for_each_index(std::size_t n, Fn&& fn) {
   par::parallel_for(0, n, kElemGrain, std::forward<Fn>(fn));
 }
 
+// The shared cache-blocked accumulate kernel behind all three matmul entry
+// points: C = A' B with A' read through `load_a(i, kk)` (contiguous for
+// matmul, stride-m for matmul_transpose_a; matmul_transpose_b materializes
+// B^T once and then uses the contiguous loader). B rows and C rows are
+// contiguous; each C row is produced entirely by one chunk with kk
+// ascending, so blocking and row-parallelism never change results.
+template <typename LoadA>
+void blocked_accumulate_gemm(std::size_t m, std::size_t k, std::size_t n,
+                             LoadA load_a, const float* pb, float* pc) {
+  par::parallel_for_chunks(0, m, kRowGrain, [&](std::size_t ilo,
+                                                std::size_t ihi) {
+    if (k == 0) {
+      // The kb loop below never runs, so the zero-fill must happen here.
+      std::fill(pc + ilo * n, pc + ihi * n, 0.0f);
+      return;
+    }
+    for (std::size_t jb = 0; jb < n; jb += kJBlock) {
+      const std::size_t jhi = std::min(n, jb + kJBlock);
+      for (std::size_t kb = 0; kb < k; kb += kKBlock) {
+        const std::size_t khi = std::min(k, kb + kKBlock);
+        for (std::size_t i = ilo; i < ihi; ++i) {
+          float* crow = pc + i * n;
+          if (kb == 0) std::fill(crow + jb, crow + jhi, 0.0f);
+          for (std::size_t kk = kb; kk < khi; ++kk) {
+            const float aik = load_a(i, kk);
+            if (aik == 0.0f) continue;
+            const float* brow = pb + kk * n;
+            for (std::size_t j = jb; j < jhi; ++j) crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  });
+}
+
 }  // namespace
 
 std::string shape_to_string(const Shape& shape) {
@@ -248,30 +283,10 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::size_t n = b.cols();
   Tensor c = Tensor::uninitialized(Shape{m, n});
   const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  // Blocked i-k-j: the inner loop stays contiguous in B and C; each output
-  // row is produced entirely by one chunk, with kk ascending.
-  par::parallel_for_chunks(0, m, kRowGrain, [&](std::size_t ilo,
-                                                std::size_t ihi) {
-    for (std::size_t jb = 0; jb < n; jb += kJBlock) {
-      const std::size_t jhi = std::min(n, jb + kJBlock);
-      for (std::size_t kb = 0; kb < k; kb += kKBlock) {
-        const std::size_t khi = std::min(k, kb + kKBlock);
-        for (std::size_t i = ilo; i < ihi; ++i) {
-          float* crow = pc + i * n;
-          if (kb == 0) std::fill(crow + jb, crow + jhi, 0.0f);
-          const float* arow = pa + i * k;
-          for (std::size_t kk = kb; kk < khi; ++kk) {
-            const float aik = arow[kk];
-            if (aik == 0.0f) continue;
-            const float* brow = pb + kk * n;
-            for (std::size_t j = jb; j < jhi; ++j) crow[j] += aik * brow[j];
-          }
-        }
-      }
-    }
-  });
+  blocked_accumulate_gemm(
+      m, k, n,
+      [pa, k](std::size_t i, std::size_t kk) { return pa[i * k + kk]; },
+      b.data().data(), c.data().data());
   return c;
 }
 
@@ -286,30 +301,13 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.cols();
   const std::size_t n = b.cols();
   Tensor c = Tensor::uninitialized(Shape{m, n});
+  // A is read with stride m; the kk blocking in the shared kernel keeps
+  // the touched A elements and the B panel resident.
   const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  // Parallel over rows of C (columns of A). A is read with stride m, so kk
-  // blocking keeps the touched A elements and the B panel resident.
-  par::parallel_for_chunks(0, m, kRowGrain, [&](std::size_t ilo,
-                                                std::size_t ihi) {
-    for (std::size_t jb = 0; jb < n; jb += kJBlock) {
-      const std::size_t jhi = std::min(n, jb + kJBlock);
-      for (std::size_t kb = 0; kb < k; kb += kKBlock) {
-        const std::size_t khi = std::min(k, kb + kKBlock);
-        for (std::size_t i = ilo; i < ihi; ++i) {
-          float* crow = pc + i * n;
-          if (kb == 0) std::fill(crow + jb, crow + jhi, 0.0f);
-          for (std::size_t kk = kb; kk < khi; ++kk) {
-            const float aik = pa[kk * m + i];
-            if (aik == 0.0f) continue;
-            const float* brow = pb + kk * n;
-            for (std::size_t j = jb; j < jhi; ++j) crow[j] += aik * brow[j];
-          }
-        }
-      }
-    }
-  });
+  blocked_accumulate_gemm(
+      m, k, n,
+      [pa, m](std::size_t i, std::size_t kk) { return pa[kk * m + i]; },
+      b.data().data(), c.data().data());
   return c;
 }
 
@@ -324,24 +322,16 @@ Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   const std::size_t k = a.cols();
   const std::size_t n = b.rows();
   Tensor c = Tensor::uninitialized(Shape{m, n});
+  // Materialize B^T once (k*n work, negligible against the m*k*n kernel)
+  // so the shared blocked kernel's inner loop stays contiguous in both
+  // operands. Accumulation is kk-ascending per output element, exactly as
+  // in the other entry points.
+  const Tensor bt = transpose(b);
   const float* pa = a.data().data();
-  const float* pb = b.data().data();
-  float* pc = c.data().data();
-  // Dot-product form: both operand rows are contiguous, every output
-  // element is written exactly once (no zero-fill needed at all).
-  par::parallel_for_chunks(0, m, kRowGrain, [&](std::size_t ilo,
-                                                std::size_t ihi) {
-    for (std::size_t i = ilo; i < ihi; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float* brow = pb + j * k;
-        float dot = 0.0f;
-        for (std::size_t kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
-        crow[j] = dot;
-      }
-    }
-  });
+  blocked_accumulate_gemm(
+      m, k, n,
+      [pa, k](std::size_t i, std::size_t kk) { return pa[i * k + kk]; },
+      bt.data().data(), c.data().data());
   return c;
 }
 

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "core/profiler.hpp"
+#include "core/quantize.hpp"
+#include "nn/quantize.hpp"
 #include "eval/f1_series.hpp"
 #include "nn/serialize.hpp"
 #include "util/log.hpp"
@@ -412,15 +414,162 @@ TEST_F(ArtifactTest, V1FormatStillRoundTrips) {
               system_->repository.model(m).name);
     EXPECT_EQ(model_weights(loaded, m), model_weights(*system_, m));
   }
-  // v1 carries no checksums, so it is strictly smaller than v2.
+  // v1 carries no checksums, so it is strictly smaller than v2 (the
+  // default v3 can be smaller than v1: its fp32 payloads drop the
+  // per-parameter ANOLEWTS headers).
   std::stringstream v2_stream;
-  save_system(*system_, v2_stream);
+  save_system(*system_, v2_stream, 2);
   EXPECT_LT(stream.str().size(), v2_stream.str().size());
 }
 
 TEST_F(ArtifactTest, UnsupportedVersionRejected) {
   std::stringstream stream;
-  EXPECT_THROW(save_system(*system_, stream, 3), std::runtime_error);
+  EXPECT_THROW(save_system(*system_, stream, 4), std::runtime_error);
+}
+
+// --- v3 quantized sections ---
+
+/// Round-trips the shared system through an artifact, giving each test a
+/// private copy it may quantize without disturbing the fixture.
+AnoleSystem private_copy(AnoleSystem& system) {
+  std::stringstream stream;
+  save_system(system, stream);
+  return load_system(stream);
+}
+
+/// Reattaches the cloud-side validation pools (artifacts strip them), so
+/// quantize_system runs the repository's δ guard rather than the probe
+/// guard.
+void attach_validation_pools(AnoleSystem& copy, AnoleSystem& source) {
+  for (std::size_t m = 0; m < copy.model_count(); ++m) {
+    copy.repository.model(m).validation_frames =
+        source.repository.model(m).validation_frames;
+  }
+}
+
+TEST_F(ArtifactTest, V3QuantizedRoundTripBitIdentical) {
+  AnoleSystem quantized = private_copy(*system_);
+  attach_validation_pools(quantized, *system_);
+  const QuantizeReport report = quantize_system(quantized);
+  ASSERT_GT(report.quantized_detectors, 0u);
+  ASSERT_TRUE(system_is_quantized(quantized));
+
+  std::stringstream stream;
+  save_system(quantized, stream);  // default version: v3
+  AnoleSystem loaded = load_system(stream);
+  EXPECT_TRUE(system_is_quantized(loaded));
+  EXPECT_TRUE(loaded.damaged_models.empty());
+  ASSERT_EQ(loaded.model_count(), quantized.model_count());
+
+  const auto frames = world_->frames_with_role(world::SplitRole::kTest);
+  const world::FrameFeaturizer featurizer;
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(loaded.decision->rank(featurizer.featurize(*frames[i])),
+              quantized.decision->rank(featurizer.featurize(*frames[i])));
+    for (std::size_t m = 0; m < loaded.model_count(); ++m) {
+      const auto a = loaded.repository.detector(m).detect(*frames[i]);
+      const auto b = quantized.repository.detector(m).detect(*frames[i]);
+      ASSERT_EQ(a.size(), b.size()) << "model " << m << " frame " << i;
+      for (std::size_t d = 0; d < a.size(); ++d) {
+        EXPECT_DOUBLE_EQ(a[d].confidence, b[d].confidence);
+        EXPECT_DOUBLE_EQ(a[d].cx, b[d].cx);
+      }
+    }
+  }
+}
+
+TEST_F(ArtifactTest, QuantizedModelSectionsShrink) {
+  AnoleSystem quantized = private_copy(*system_);
+  attach_validation_pools(quantized, *system_);
+  const QuantizeReport report = quantize_system(quantized);
+  if (report.rejected_detectors != 0) {
+    GTEST_SKIP() << "a detector failed its guard; size ratio not comparable";
+  }
+  std::stringstream fp32_stream;
+  save_system(*system_, fp32_stream, 2);
+  const std::string fp32_blob = fp32_stream.str();
+  const std::string quant_blob = serialized_blob(quantized);
+
+  const auto sum_model_bytes = [](const std::string& blob) {
+    std::size_t total = 0;
+    for (const SectionInfo& section : parse_sections(blob)) {
+      if (section.tag == kModelSectionTag) total += section.payload_size;
+    }
+    return total;
+  };
+  const double fp32_bytes =
+      static_cast<double>(sum_model_bytes(fp32_blob));
+  const double quant_bytes =
+      static_cast<double>(sum_model_bytes(quant_blob));
+  ASSERT_GT(quant_bytes, 0.0);
+  // The headline artifact-v3 claim: quantized model sections stream at
+  // least 3.5x fewer bytes than their fp32 v2 counterparts.
+  EXPECT_GE(fp32_bytes / quant_bytes, 3.5);
+  EXPECT_LT(quant_blob.size(), fp32_blob.size());
+
+  // ModelCache / DeviceSession accounting shrinks with them.
+  for (std::size_t m = 0; m < quantized.model_count(); ++m) {
+    EXPECT_LT(quantized.repository.detector(m).weight_bytes() * 3,
+              system_->repository.detector(m).weight_bytes());
+  }
+  EXPECT_LT(quantized.decision->head_weight_bytes(),
+            system_->decision->head_weight_bytes());
+}
+
+TEST_F(ArtifactTest, LegacyVersionsRejectQuantizedSystems) {
+  AnoleSystem quantized = private_copy(*system_);
+  (void)quantize_system(quantized);
+  ASSERT_TRUE(system_is_quantized(quantized));
+  std::stringstream stream;
+  EXPECT_THROW(save_system(quantized, stream, 1), std::runtime_error);
+  EXPECT_THROW(save_system(quantized, stream, 2), std::runtime_error);
+}
+
+TEST_F(ArtifactTest, QuantEnvZeroLoadsFp32) {
+  AnoleSystem quantized = private_copy(*system_);
+  attach_validation_pools(quantized, *system_);
+  const QuantizeReport report = quantize_system(quantized);
+  ASSERT_GT(report.quantized_detectors, 0u);
+  std::stringstream stream;
+  save_system(quantized, stream);
+
+  ::setenv("ANOLE_QUANT", "0", 1);
+  AnoleSystem fp32_loaded = load_system(stream);
+  ::unsetenv("ANOLE_QUANT");
+  EXPECT_FALSE(system_is_quantized(fp32_loaded));
+
+  CacheConfig cache_config;
+  cache_config.capacity = 3;
+  AnoleEngine engine(fp32_loaded, cache_config);
+  const auto frames = world_->frames_with_role(world::SplitRole::kTest);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_FALSE(engine.process(*frames[i]).health.served_quantized);
+  }
+  EXPECT_EQ(engine.quantized_frames(), 0u);
+}
+
+TEST_F(ArtifactTest, EngineReportsActivePrecision) {
+  AnoleSystem quantized = private_copy(*system_);
+  attach_validation_pools(quantized, *system_);
+  const QuantizeReport report = quantize_system(quantized);
+  ASSERT_GT(report.quantized_detectors, 0u);
+
+  CacheConfig cache_config;
+  cache_config.capacity = 3;
+  AnoleEngine engine(quantized, cache_config);
+  EXPECT_EQ(engine.decision_quantized(), report.decision_quantized);
+  const auto frames = world_->frames_with_role(world::SplitRole::kTest);
+  std::size_t served_quantized = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto result = engine.process(*frames[i]);
+    EXPECT_EQ(result.health.served_quantized,
+              engine.model_quantized(result.served_model));
+    if (result.health.served_quantized) ++served_quantized;
+  }
+  EXPECT_EQ(engine.quantized_frames(), served_quantized);
+  if (report.rejected_detectors == 0) {
+    EXPECT_EQ(served_quantized, 20u);
+  }
 }
 
 }  // namespace

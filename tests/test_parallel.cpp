@@ -74,15 +74,19 @@ Tensor naive_matmul_transpose_a(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+/// Same accumulate-and-zero-skip form as the other references: since the
+/// unified kernel, matmul_transpose_b materializes transpose(b) and runs
+/// the shared blocked loop, so its float contract is identical to
+/// matmul's (kk ascending, aik == 0 terms skipped), not the dot form.
 Tensor naive_matmul_transpose_b(const Tensor& a, const Tensor& b) {
   Tensor c = Tensor::matrix(a.rows(), b.rows());
   for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      float dot = 0.0f;
-      for (std::size_t kk = 0; kk < a.cols(); ++kk) {
-        dot += a.at(i, kk) * b.at(j, kk);
+    for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+      const float aik = a.at(i, kk);
+      if (aik == 0.0f) continue;
+      for (std::size_t j = 0; j < b.rows(); ++j) {
+        c.at(i, j) += aik * b.at(j, kk);
       }
-      c.at(i, j) = dot;
     }
   }
   return c;
