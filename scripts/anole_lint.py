@@ -31,6 +31,11 @@ Rules (each failure prints `file:line: rule-id: message`):
                        (src/tensor/qgemm.cpp). Everything else must go
                        through those helpers so weight bytes have exactly
                        one (de)serialization path to audit.
+  no-wallclock         std::chrono::*_clock::now() is banned under src/:
+                       runtime decisions (governor transitions, cache
+                       clocks, fault schedules) must run on logical frame
+                       counters so traces replay bitwise across runs and
+                       thread counts. Benches and tests may time things.
 
 Usage: anole_lint.py [repo-root]   (exits non-zero on any finding)
 """
@@ -53,6 +58,8 @@ RE_COUT = re.compile(r"\bstd\s*::\s*cout\b")
 RE_RAW_THREAD = re.compile(r"\bstd\s*::\s*(?:thread|jthread|async)\b")
 RE_THROW = re.compile(r"\bthrow\b")
 RE_REINTERPRET_CAST = re.compile(r"\breinterpret_cast\b")
+RE_WALLCLOCK = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b")
 RE_INCLUDE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
 
 # The per-frame OMI hot path: a fault here must degrade, never abort.
@@ -164,6 +171,10 @@ def lint_file(path: Path, rel: Path):
             findings.append((number, "no-reinterpret-cast",
                              "reinterpret_cast banned here; route raw byte "
                              "access through nn/serialize.hpp pod helpers"))
+        if rel_str.startswith("src/") and RE_WALLCLOCK.search(line):
+            findings.append((number, "no-wallclock",
+                             "wall-clock now() banned under src/; use "
+                             "logical frame counters so decisions replay"))
 
     if path.suffix == ".cpp" and rel_str.startswith("src/"):
         own_header = path.with_suffix(".hpp")

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full correctness gate: lint, Release build + tests, ASan+UBSan build +
 # tests, TSan build + tests, a fault-matrix pass (tier-1 tests under a
-# canned ANOLE_FAULTS schedule on the sanitizer build), and a quantized
-# pass (tier-1 tests with ANOLE_QUANT=1 on the sanitizer build). Non-zero
+# canned ANOLE_FAULTS schedule on the sanitizer build), a quantized pass
+# (tier-1 tests with ANOLE_QUANT=1 on the sanitizer build), and a 10k-frame
+# governor soak under overload faults on the sanitizer build. Non-zero
 # exit on the first failure. Run from anywhere.
 set -euo pipefail
 
@@ -11,21 +12,21 @@ cd "$repo_root"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/6] repo lint"
+echo "==> [1/7] repo lint"
 python3 scripts/anole_lint.py .
 
-echo "==> [2/6] Release build + tests (warnings are errors)"
+echo "==> [2/7] Release build + tests (warnings are errors)"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DANOLE_WERROR=ON
 cmake --build build -j "$jobs"
 ctest --test-dir build --output-on-failure -j "$jobs"
 
-echo "==> [3/6] ASan+UBSan Debug build + tests"
+echo "==> [3/7] ASan+UBSan Debug build + tests"
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
   "-DANOLE_SANITIZE=address;undefined" -DANOLE_WERROR=ON
 cmake --build build-asan -j "$jobs"
 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "==> [4/6] TSan build + tests (thread pool race check)"
+echo "==> [4/7] TSan build + tests (thread pool race check)"
 cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DANOLE_SANITIZE=thread -DANOLE_WERROR=ON
 cmake --build build-tsan -j "$jobs"
@@ -33,20 +34,28 @@ cmake --build build-tsan -j "$jobs"
 # single-core CI hosts: TSan has races to look at either way.
 ANOLE_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$jobs"
 
-echo "==> [5/6] fault matrix: tier-1 tests under injected faults (ASan)"
+echo "==> [5/7] fault matrix: tier-1 tests under injected faults (ASan)"
 # Every AnoleEngine built without an explicit injector picks this schedule
 # up from the environment (each engine re-seeds its own streams, so test
 # order cannot perturb outcomes). The suite must stay green while the
 # degradation ladder absorbs ~1% failures at every site; ASan watches the
 # recovery paths for memory errors.
-ANOLE_FAULTS="seed=1337,model_load=0.01,artifact_section=0.01,decision_output=0.01,frame_payload=0.005,load_latency_spike=0.02x25" \
+ANOLE_FAULTS="seed=1337,model_load=0.01,artifact_section=0.01,decision_output=0.01,frame_payload=0.005,load_latency_spike=0.02x25,memory_pressure=0.01x2" \
   ctest --test-dir build-asan --output-on-failure -j "$jobs"
 
-echo "==> [6/6] quantized execution: tier-1 tests with ANOLE_QUANT=1 (ASan)"
+echo "==> [6/7] quantized execution: tier-1 tests with ANOLE_QUANT=1 (ASan)"
 # Forces the int8 fast path on explicitly (it is also the default) so the
 # quantized kernels, the artifact v3 sections, and the engine's precision
 # accounting run under ASan+UBSan even if a future change flips the
 # default off.
 ANOLE_QUANT=1 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+
+echo "==> [7/7] governor soak: 10k frames under overload faults (ASan)"
+# A long closed-loop session through the runtime governor with I/O latency
+# spikes and memory-pressure budget shrinks. The test asserts every frame
+# is served by a valid model, frame accounting balances, and the dropped-
+# frame rate stays bounded; ASan+UBSan watch the shed/suppress/evict paths.
+ANOLE_SOAK_FRAMES=10000 \
+  ctest --test-dir build-asan --output-on-failure -R 'GovernorSoak'
 
 echo "check.sh: all gates passed"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <numeric>
 
@@ -20,6 +21,19 @@ bool is_damaged(const AnoleSystem& system, std::size_t model) {
   return std::find(system.damaged_models.begin(),
                    system.damaged_models.end(),
                    model) != system.damaged_models.end();
+}
+
+/// Parses ANOLE_MEM_BUDGET_MB (paper-equivalent MB, fractional allowed);
+/// 0 when unset, empty, or unparseable.
+double mem_budget_mb_from_env() {
+  const char* value = std::getenv("ANOLE_MEM_BUDGET_MB");
+  if (value == nullptr || *value == '\0') return 0.0;
+  char* end = nullptr;
+  const double mb = std::strtod(value, &end);
+  ANOLE_CHECK(end != value && *end == '\0' && mb > 0.0,
+              "ANOLE_MEM_BUDGET_MB: expected a positive number, got '",
+              value, "'");
+  return mb;
 }
 
 }  // namespace
@@ -66,6 +80,32 @@ AnoleEngine::AnoleEngine(AnoleSystem& system, const EngineConfig& config)
   cache_.set_pinned_fallback(fallback_model_);
   cache_.set_fault_injector(faults_.get());
   for (std::size_t m : system.damaged_models) cache_.quarantine_forever(m);
+
+  // Byte accounting: real streamed weight bytes per model (quantized
+  // artifact sections already report their smaller size).
+  std::vector<std::uint64_t> model_bytes;
+  model_bytes.reserve(system.repository.size());
+  std::uint64_t reference_bytes = 0;
+  for (std::size_t m = 0; m < system.repository.size(); ++m) {
+    const std::uint64_t bytes = system.repository.detector(m).weight_bytes();
+    model_bytes.push_back(bytes);
+    reference_bytes = std::max(reference_bytes, bytes);
+  }
+  cache_.set_model_bytes(model_bytes);
+  if (config.cache.memory_budget_bytes == 0) {
+    // ANOLE_MEM_BUDGET_MB speaks paper-equivalent MB, where one full
+    // compressed model is the device simulator's ~40 paper-MB reference
+    // (device/profile.hpp MemoryModel); damaged placeholders are smaller,
+    // so the largest real model anchors the conversion.
+    const double budget_mb = mem_budget_mb_from_env();
+    if (budget_mb > 0.0) {
+      cache_.set_memory_budget_bytes(static_cast<std::uint64_t>(
+          budget_mb / 40.0 * static_cast<double>(reference_bytes)));
+    }
+  }
+
+  governor_ =
+      device::governor_enabled_from_env() ? config.governor : nullptr;
 }
 
 AnoleEngine::AnoleEngine(AnoleSystem& system, const CacheConfig& cache_config)
@@ -98,10 +138,89 @@ std::vector<EngineResult> AnoleEngine::process_batch(
 EngineResult AnoleEngine::process_with_suitability(
     const world::Frame& frame, std::span<const float> probs) {
   EngineResult result;
-  // MSS tail: optional temporal smoothing of the suitability vector.
   const std::size_t n = system_->repository.size();
   ANOLE_CHECK_EQ(probs.size(), n,
                  "AnoleEngine: suitability width != repository size");
+
+  // Overload governor (DESIGN.md §11): one plan() per frame decides
+  // drop / swap suppression / ranking reuse before any stateful work.
+  device::GovernorDirective directive;
+  if (governor_ != nullptr) directive = governor_->plan();
+  result.governor_state = directive.state;
+
+  if (directive.drop_frame) {
+    // Shed outright: no smoothing update, no cache admission, no fault
+    // draws, no detector — the frame's only trace is this record. The
+    // previous served model is reported so downstream accounting has a
+    // stable id.
+    result.health.frame_dropped = true;
+    ++dropped_frames_;
+    result.served_model = last_served_.value_or(fallback_model_);
+    result.top1_model = result.served_model;
+    ++frames_;
+    return result;
+  }
+
+  const bool reuse_ranking =
+      !directive.refresh_ranking && last_ranking_.size() == n;
+  std::vector<std::size_t> ranking;
+  if (reuse_ranking) {
+    // Throttled MSS: replay the previous frame's ranking (post
+    // confidence-fallback rotation) without running the decision tail —
+    // no smoothing update, no decision fault draw, no top1 credit.
+    ranking = last_ranking_;
+    result.ranking_reused = true;
+    ++reused_ranking_frames_;
+    result.top1_model = last_top1_model_;
+    result.top1_confidence = last_top1_confidence_;
+    result.low_confidence = last_low_confidence_;
+  } else {
+    ranking = rank_suitability(result, probs);
+  }
+
+  // CMD: resolve against the model cache (bounded retry + quarantine
+  // ladder live inside admit; it never throws on a valid ranking).
+  const auto admission =
+      cache_.admit(ranking, AdmitOptions{.allow_load = directive.allow_swap});
+  result.served_model = admission.served_model;
+  result.cache_hit = admission.hit;
+  result.model_loaded = admission.loaded.has_value();
+  result.health.load_attempts = admission.load_attempts;
+  result.health.load_abandoned = admission.load_abandoned;
+  result.health.quarantined = admission.quarantined;
+  result.health.served_degraded = admission.served_pinned;
+  result.health.swap_suppressed =
+      admission.swap_suppressed || admission.load_refused_oversized;
+  if (admission.served_pinned) ++degraded_frames_;
+  if (result.health.swap_suppressed) ++swap_suppressed_frames_;
+
+  // MI: run the chosen compressed model. A corrupt payload degrades to an
+  // empty detection set for this frame instead of feeding the detector
+  // garbage.
+  if (faults_ != nullptr &&
+      faults_->should_fail(fault::Site::kFramePayload, frames_)) {
+    result.health.payload_corrupt = true;
+    ++payload_corrupt_frames_;
+  } else {
+    detect::GridDetector& served =
+        system_->repository.detector(admission.served_model);
+    result.health.served_quantized = nn::is_quantized(served.network());
+    if (result.health.served_quantized) ++quantized_frames_;
+    result.detections = served.detect(frame);
+  }
+
+  result.model_switched =
+      last_served_.has_value() && *last_served_ != admission.served_model;
+  if (result.model_switched) ++switches_;
+  last_served_ = admission.served_model;
+  ++frames_;
+  return result;
+}
+
+std::vector<std::size_t> AnoleEngine::rank_suitability(
+    EngineResult& result, std::span<const float> probs) {
+  // MSS tail: optional temporal smoothing of the suitability vector.
+  const std::size_t n = system_->repository.size();
   std::vector<double> suitability(probs.begin(), probs.end());
   // Injected decision corruption: one entry turns non-finite, exercising
   // the guard below exactly as a misbehaving decision head would.
@@ -151,39 +270,12 @@ EngineResult AnoleEngine::process_with_suitability(
                 ranking.end());
   }
 
-  // CMD: resolve against the model cache (bounded retry + quarantine
-  // ladder live inside admit; it never throws on a valid ranking).
-  const auto admission = cache_.admit(ranking);
-  result.served_model = admission.served_model;
-  result.cache_hit = admission.hit;
-  result.model_loaded = admission.loaded.has_value();
-  result.health.load_attempts = admission.load_attempts;
-  result.health.load_abandoned = admission.load_abandoned;
-  result.health.quarantined = admission.quarantined;
-  result.health.served_degraded = admission.served_pinned;
-  if (admission.served_pinned) ++degraded_frames_;
-
-  // MI: run the chosen compressed model. A corrupt payload degrades to an
-  // empty detection set for this frame instead of feeding the detector
-  // garbage.
-  if (faults_ != nullptr &&
-      faults_->should_fail(fault::Site::kFramePayload, frames_)) {
-    result.health.payload_corrupt = true;
-    ++payload_corrupt_frames_;
-  } else {
-    detect::GridDetector& served =
-        system_->repository.detector(admission.served_model);
-    result.health.served_quantized = nn::is_quantized(served.network());
-    if (result.health.served_quantized) ++quantized_frames_;
-    result.detections = served.detect(frame);
-  }
-
-  result.model_switched =
-      last_served_.has_value() && *last_served_ != admission.served_model;
-  if (result.model_switched) ++switches_;
-  last_served_ = admission.served_model;
-  ++frames_;
-  return result;
+  // Remember the (rotated) ranking for throttled reuse.
+  last_ranking_ = ranking;
+  last_top1_model_ = result.top1_model;
+  last_top1_confidence_ = result.top1_confidence;
+  last_low_confidence_ = result.low_confidence;
+  return ranking;
 }
 
 bool AnoleEngine::decision_quantized() const {

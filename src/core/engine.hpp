@@ -21,6 +21,7 @@
 #include "core/decision_model.hpp"
 #include "core/model_cache.hpp"
 #include "core/repository.hpp"
+#include "device/governor.hpp"
 #include "util/fault.hpp"
 
 namespace anole::core {
@@ -56,6 +57,11 @@ struct EngineConfig {
   /// the engine builds one from the ANOLE_FAULTS environment variable
   /// (and runs fault-free when that is unset).
   std::shared_ptr<fault::FaultInjector> faults;
+  /// Overload governor consulted once per frame (DESIGN.md §11). Null
+  /// (the default) means ungoverned; the pointer is also ignored when
+  /// ANOLE_GOVERNOR=0, reproducing ungoverned behavior exactly. Not
+  /// owned; must outlive the engine.
+  device::RuntimeGovernor* governor = nullptr;
 };
 
 /// Everything that happened while processing one frame.
@@ -79,6 +85,13 @@ struct EngineResult {
     /// True when the serving detector ran int8-quantized layers (the
     /// artifact v3 fast path); false for fp32 or payload-corrupt frames.
     bool served_quantized = false;
+    /// True when the governor shed this frame: no detector ran,
+    /// detections are empty, served_model repeats the previous frame.
+    bool frame_dropped = false;
+    /// True when a top-1 miss did not stream its model — the governor
+    /// suppressed the swap (or the byte budget refused an oversized
+    /// load) and the best resident model served instead.
+    bool swap_suppressed = false;
   };
 
   std::vector<detect::Detection> detections;
@@ -95,6 +108,12 @@ struct EngineResult {
   bool model_switched = false;
   /// True when the confidence fallback replaced the decision's choice.
   bool low_confidence = false;
+  /// True when the governor reused the previous frame's decision ranking
+  /// instead of running the MSS tail (throttled ranking refresh).
+  bool ranking_reused = false;
+  /// Governor state this frame was planned under (kNormal when
+  /// ungoverned).
+  device::GovernorState governor_state = device::GovernorState::kNormal;
   Health health;
 };
 
@@ -144,6 +163,22 @@ class AnoleEngine {
 
   /// Frames whose serving detector ran int8.
   std::size_t quantized_frames() const { return quantized_frames_; }
+
+  /// --- governor introspection (DESIGN.md §11) ---
+
+  /// Frames shed by the governor (no detector ran).
+  std::size_t dropped_frames() const { return dropped_frames_; }
+  /// Top-1 misses whose model swap was suppressed (throttle or budget).
+  std::size_t swap_suppressed_frames() const {
+    return swap_suppressed_frames_;
+  }
+  /// Frames that reused the previous decision ranking.
+  std::size_t reused_ranking_frames() const {
+    return reused_ranking_frames_;
+  }
+  /// The governor in effect; null when ungoverned (none configured or
+  /// ANOLE_GOVERNOR=0).
+  device::RuntimeGovernor* governor() const { return governor_; }
   /// True when the M_decision head currently carries int8 layers.
   bool decision_quantized() const;
   /// True when detector `model` currently carries int8 layers.
@@ -158,6 +193,12 @@ class AnoleEngine {
   /// suitability probabilities for one frame are known.
   EngineResult process_with_suitability(const world::Frame& frame,
                                         std::span<const float> probs);
+
+  /// MSS tail: smoothing, NaN guard, ranking sort, confidence fallback.
+  /// Fills the top-1 fields of `result` and stores the ranking for
+  /// throttled reuse.
+  std::vector<std::size_t> rank_suitability(EngineResult& result,
+                                            std::span<const float> probs);
 
   AnoleSystem* system_;
   EngineConfig config_;
@@ -175,6 +216,17 @@ class AnoleEngine {
   std::size_t degraded_frames_ = 0;
   std::size_t quantized_frames_ = 0;
   std::optional<std::size_t> last_served_;
+  /// --- governor state ---
+  device::RuntimeGovernor* governor_ = nullptr;
+  std::size_t dropped_frames_ = 0;
+  std::size_t swap_suppressed_frames_ = 0;
+  std::size_t reused_ranking_frames_ = 0;
+  /// Previous frame's ranking (post confidence-fallback rotation) and
+  /// top-1 fields, replayed on throttled ranking reuse.
+  std::vector<std::size_t> last_ranking_;
+  std::size_t last_top1_model_ = 0;
+  double last_top1_confidence_ = 0.0;
+  bool last_low_confidence_ = false;
 };
 
 }  // namespace anole::core

@@ -116,15 +116,26 @@ std::size_t ModelCache::pick_victim() const {
 }
 
 void ModelCache::load(std::size_t model) {
-  if (entries_.size() >= config_.capacity) {
-    entries_.erase(entries_.begin() +
-                   static_cast<std::ptrdiff_t>(pick_victim()));
+  if (entries_.size() >= config_.capacity) evict_entry(pick_victim());
+  if (budget_active()) {
+    // Free bytes-to-fit, not one slot: a large model may displace several
+    // small residents. An oversized model (> the whole budget) would
+    // drain the cache and still not fit — callers refuse it up front; the
+    // pinned fallback is exempt and loads over budget (last line of
+    // defence).
+    const std::uint64_t need = bytes_of(model);
+    const std::uint64_t budget = effective_budget_bytes();
+    while (!entries_.empty() && resident_bytes_ + need > budget) {
+      evict_entry(pick_victim());
+      ++budget_evictions_;
+    }
   }
   Entry entry;
   entry.model = model;
   entry.loaded_at = clock_;
   entry.last_used = clock_;
   entries_.push_back(entry);
+  resident_bytes_ += bytes_of(model);
 }
 
 void ModelCache::touch(std::size_t entry_index) {
@@ -134,9 +145,76 @@ void ModelCache::touch(std::size_t entry_index) {
 }
 
 void ModelCache::evict_model(std::size_t model) {
-  if (auto index = find(model)) {
-    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(*index));
+  if (auto index = find(model)) evict_entry(*index);
+}
+
+void ModelCache::evict_entry(std::size_t entry_index) {
+  ANOLE_DCHECK_RANGE(entry_index, entries_.size(),
+                     "ModelCache::evict_entry");
+  resident_bytes_ -= bytes_of(entries_[entry_index].model);
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(entry_index));
+}
+
+std::uint64_t ModelCache::bytes_of(std::size_t model) const {
+  return model_bytes_.empty() ? 0 : model_bytes_[model];
+}
+
+bool ModelCache::budget_active() const {
+  return config_.memory_budget_bytes > 0 && !model_bytes_.empty();
+}
+
+std::uint64_t ModelCache::effective_budget_bytes() const {
+  if (config_.memory_budget_bytes == 0) return 0;
+  if (clock_ >= pressure_until_) return config_.memory_budget_bytes;
+  return static_cast<std::uint64_t>(
+      static_cast<double>(config_.memory_budget_bytes) / pressure_divisor_);
+}
+
+bool ModelCache::under_pressure() const {
+  return config_.memory_budget_bytes > 0 && clock_ < pressure_until_;
+}
+
+bool ModelCache::fits_budget(std::size_t model) const {
+  if (!budget_active()) return true;
+  return bytes_of(model) <= effective_budget_bytes();
+}
+
+void ModelCache::enforce_budget() {
+  if (!budget_active()) return;
+  const std::uint64_t budget = effective_budget_bytes();
+  while (!entries_.empty() && resident_bytes_ > budget) {
+    evict_entry(pick_victim());
+    ++budget_evictions_;
   }
+}
+
+void ModelCache::consult_memory_pressure() {
+  if (faults_ == nullptr || config_.memory_budget_bytes == 0) return;
+  if (!faults_->should_fail(fault::Site::kMemoryPressure, clock_)) return;
+  // The OS reclaims memory: the effective budget shrinks by the armed
+  // magnitude (a divisor) for the next pressure_window admissions, and
+  // residents are evicted down to the shrunk budget immediately.
+  pressure_until_ = clock_ + config_.pressure_window;
+  pressure_divisor_ =
+      std::max(1.0, faults_->magnitude(fault::Site::kMemoryPressure));
+  ++pressure_events_;
+  enforce_budget();
+}
+
+void ModelCache::set_model_bytes(std::span<const std::uint64_t> bytes) {
+  ANOLE_CHECK_EQ(bytes.size(), model_count_,
+                 "ModelCache::set_model_bytes: need one size per model");
+  model_bytes_.assign(bytes.begin(), bytes.end());
+  resident_bytes_ = 0;
+  for (const Entry& entry : entries_) {
+    resident_bytes_ += model_bytes_[entry.model];
+  }
+  enforce_budget();
+}
+
+void ModelCache::set_memory_budget_bytes(std::uint64_t budget) {
+  config_.memory_budget_bytes = budget;
+  enforce_budget();
 }
 
 bool ModelCache::try_load(std::size_t model, Admission& admission) {
@@ -181,8 +259,8 @@ void ModelCache::serve_pinned(Admission& admission) {
     admission.loaded = pinned;
     for (std::size_t model : before) {
       if (!contains(model)) {
-        admission.evicted = model;
-        break;
+        if (!admission.evicted) admission.evicted = model;
+        ++admission.evicted_count;
       }
     }
   }
@@ -194,7 +272,7 @@ void ModelCache::serve_pinned(Admission& admission) {
 }
 
 ModelCache::Admission ModelCache::admit(
-    std::span<const std::size_t> ranking) {
+    std::span<const std::size_t> ranking, const AdmitOptions& options) {
   // A ranking entry outside the model id space would silently corrupt
   // use_counts_; validate the whole vector up front.
   for (std::size_t model : ranking) {
@@ -206,6 +284,7 @@ ModelCache::Admission ModelCache::admit(
               "(set_pinned_fallback defines the degraded serve)");
   ++clock_;
   ++lookups_;
+  consult_memory_pressure();
   Admission admission;
 
   // Effective top-1: the best-ranked model that is not quarantined.
@@ -244,14 +323,33 @@ ModelCache::Admission ModelCache::admit(
   }
   if (serving_model) touch(*find(*serving_model));
 
-  // Load top-1 (evicting per policy) so future frames of this scene hit.
-  const auto before = resident_models();
-  if (try_load(*top, admission)) {
-    admission.loaded = *top;
-    for (std::size_t model : before) {
-      if (!contains(model)) {
-        admission.evicted = model;
-        break;
+  if (!options.allow_load && serving_model) {
+    // Governor-throttled: skip the load, serve the best resident model.
+    // A cold miss (nothing ranked resident) still falls through to the
+    // load below — suppression must never leave a frame unserved.
+    admission.swap_suppressed = true;
+    admission.served_model = *serving_model;
+    use_counts_[admission.served_model] += 1;
+    return admission;
+  }
+
+  if (!fits_budget(*top)) {
+    // Larger than the whole (possibly pressure-shrunk) budget: loading it
+    // would drain the cache and still overflow. Refuse — no retry, no
+    // quarantine (the model is healthy, the budget is not) — and degrade
+    // to the best resident model below.
+    admission.load_refused_oversized = true;
+    ++oversized_rejections_;
+  } else {
+    // Load top-1 (evicting to fit) so future frames of this scene hit.
+    const auto before = resident_models();
+    if (try_load(*top, admission)) {
+      admission.loaded = *top;
+      for (std::size_t model : before) {
+        if (!contains(model)) {
+          if (!admission.evicted) admission.evicted = model;
+          ++admission.evicted_count;
+        }
       }
     }
   }
@@ -270,7 +368,8 @@ ModelCache::Admission ModelCache::admit(
       // (faults armed on a bare cache). Surface it as a contract error.
       ANOLE_CHECK(false,
                   "ModelCache::admit: load of model ", *top,
-                  " abandoned with an empty cache and no pinned fallback");
+                  " abandoned or refused with an empty cache and no "
+                  "pinned fallback");
     }
   }
   admission.served_model = *serving_model;
@@ -283,7 +382,9 @@ void ModelCache::preload(std::span<const std::size_t> models) {
     ANOLE_CHECK_RANGE(model, model_count_,
                       "ModelCache::preload: unknown model id");
     ++clock_;
-    if (!contains(model) && !is_quarantined(model)) load(model);
+    if (!contains(model) && !is_quarantined(model) && fits_budget(model)) {
+      load(model);
+    }
   }
 }
 

@@ -17,9 +17,21 @@
 // fault injection (the premodel lives in a reserved slot, the framework's
 // last line of defence). Nothing in this path throws: every frame is
 // served by a resident model.
+//
+// Byte budget (DESIGN.md §11): beyond the slot count, the cache can be
+// bounded by real weight bytes. `set_model_bytes` supplies per-model
+// sizes (quantized artifact sections at their real, smaller size) and
+// `memory_budget_bytes` caps the resident total; a load evicts victims
+// until the new model *fits*, not just one slot. A model larger than the
+// whole (possibly pressure-shrunk) budget is refused outright and the
+// frame degrades to the best resident model — except the pinned fallback,
+// whose load is exempt. The `memory_pressure` fault site shrinks the
+// effective budget by the armed magnitude for a window of admissions,
+// exercising mid-run OS memory reclamation.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
@@ -42,6 +54,22 @@ struct CacheConfig {
   /// Base quarantine cooldown in admissions; doubles per repeat offence
   /// (capped), giving decayed re-admission.
   std::size_t quarantine_frames = 64;
+  /// Resident-weight byte cap; 0 disables byte accounting entirely (the
+  /// cache is bounded by `capacity` slots only, today's behavior). Takes
+  /// effect once `set_model_bytes` supplies per-model sizes.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Admissions a `memory_pressure` fault keeps the budget shrunk for.
+  std::size_t pressure_window = 128;
+};
+
+/// Per-admission knobs (the governor's levers). Defaults preserve the
+/// unconstrained behavior.
+struct AdmitOptions {
+  /// False: do not start a model load for this frame — serve the best
+  /// already-resident model instead (a throttled governor suppressing
+  /// swaps). Ignored when nothing ranked is resident: a cold start must
+  /// still load.
+  bool allow_load = true;
 };
 
 class ModelCache {
@@ -54,8 +82,11 @@ class ModelCache {
     bool hit = false;
     /// Model loaded this step (top-1 on a miss), if any.
     std::optional<std::size_t> loaded;
-    /// Model evicted to make room, if any.
+    /// First model evicted to make room, if any.
     std::optional<std::size_t> evicted;
+    /// Total models evicted this admission (a byte-budget load can evict
+    /// several victims to fit).
+    std::size_t evicted_count = 0;
     /// Load attempts made this admission (0 when no load was needed).
     std::size_t load_attempts = 0;
     /// True when every attempt failed and the load was abandoned.
@@ -65,6 +96,12 @@ class ModelCache {
     /// True when the pinned fallback served because no ranked model was
     /// admissible (empty ranking, all quarantined, or failed cold load).
     bool served_pinned = false;
+    /// True when a top-1 miss did not load because AdmitOptions.allow_load
+    /// was false (governor-throttled swap).
+    bool swap_suppressed = false;
+    /// True when the top-1 load was refused because the model exceeds the
+    /// whole effective byte budget.
+    bool load_refused_oversized = false;
   };
 
   ModelCache(std::size_t model_count, const CacheConfig& config);
@@ -74,12 +111,22 @@ class ModelCache {
   /// and counted as a miss. An empty ranking (or one whose every model is
   /// quarantined) is served by the pinned fallback when one is set and
   /// throws anole::ContractViolation otherwise.
-  Admission admit(std::span<const std::size_t> ranking);
+  Admission admit(std::span<const std::size_t> ranking) {
+    return admit(ranking, AdmitOptions{});
+  }
+  Admission admit(std::span<const std::size_t> ranking,
+                  const AdmitOptions& options);
 
-  /// Convenience overload for literal rankings.
+  /// Convenience overloads for literal rankings.
   Admission admit(std::initializer_list<std::size_t> ranking) {
     return admit(std::span<const std::size_t>(ranking.begin(),
                                               ranking.size()));
+  }
+  Admission admit(std::initializer_list<std::size_t> ranking,
+                  const AdmitOptions& options) {
+    return admit(std::span<const std::size_t>(ranking.begin(),
+                                              ranking.size()),
+                 options);
   }
 
   bool contains(std::size_t model) const;
@@ -124,6 +171,37 @@ class ModelCache {
   std::size_t quarantine_events() const { return quarantine_events_; }
   std::size_t degraded_serves() const { return degraded_serves_; }
 
+  /// --- byte budget ---
+
+  /// Supplies per-model weight sizes (bytes[m] = weight bytes of model
+  /// m). Requires exactly model_count entries. Enables byte accounting;
+  /// immediately evicts to the configured budget if already over it.
+  void set_model_bytes(std::span<const std::uint64_t> bytes);
+
+  /// Replaces the configured byte budget (0 disables byte accounting)
+  /// and immediately evicts down to it.
+  void set_memory_budget_bytes(std::uint64_t budget);
+
+  /// Total weight bytes currently resident (0 until set_model_bytes).
+  std::uint64_t resident_bytes() const { return resident_bytes_; }
+  std::uint64_t memory_budget_bytes() const {
+    return config_.memory_budget_bytes;
+  }
+
+  /// The budget after any active memory-pressure shrink; 0 when byte
+  /// accounting is disabled.
+  std::uint64_t effective_budget_bytes() const;
+
+  /// True while a `memory_pressure` fault keeps the budget shrunk.
+  bool under_pressure() const;
+
+  /// Top-1 loads refused as oversized / evictions forced by the byte
+  /// budget (beyond slot-capacity evictions) / memory-pressure faults
+  /// fired, since construction.
+  std::size_t oversized_rejections() const { return oversized_rejections_; }
+  std::size_t budget_evictions() const { return budget_evictions_; }
+  std::size_t pressure_events() const { return pressure_events_; }
+
  private:
   struct Entry {
     std::size_t model = 0;
@@ -146,6 +224,21 @@ class ModelCache {
   std::size_t pick_victim() const;
   void touch(std::size_t entry_index);
   void evict_model(std::size_t model);
+  void evict_entry(std::size_t entry_index);
+
+  /// Weight bytes of `model`; 0 until set_model_bytes supplies sizes.
+  std::uint64_t bytes_of(std::size_t model) const;
+  /// True when byte accounting is active (budget and sizes configured).
+  bool budget_active() const;
+  /// True when `model` alone fits the effective budget (always true when
+  /// byte accounting is inactive).
+  bool fits_budget(std::size_t model) const;
+  /// Evicts victims until the resident total fits the effective budget.
+  void enforce_budget();
+  /// One deterministic memory-pressure draw per admission (site
+  /// `memory_pressure`); a hit shrinks the budget for pressure_window
+  /// admissions.
+  void consult_memory_pressure();
 
   /// Attempts to load `model` with bounded retry under fault injection;
   /// fills the load/quarantine fields of `admission`. Returns true when
@@ -169,6 +262,16 @@ class ModelCache {
   std::size_t abandoned_loads_ = 0;
   std::size_t quarantine_events_ = 0;
   std::size_t degraded_serves_ = 0;
+  /// --- byte budget state ---
+  /// Per-model weight bytes; empty until set_model_bytes.
+  std::vector<std::uint64_t> model_bytes_;
+  std::uint64_t resident_bytes_ = 0;
+  /// Budget stays shrunk while clock_ < pressure_until_.
+  std::size_t pressure_until_ = 0;
+  double pressure_divisor_ = 1.0;
+  std::size_t oversized_rejections_ = 0;
+  std::size_t budget_evictions_ = 0;
+  std::size_t pressure_events_ = 0;
 };
 
 }  // namespace anole::core

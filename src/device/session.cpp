@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/check.hpp"
+
 namespace anole::device {
 
 DeviceSession::DeviceSession(const DeviceProfile& profile,
                              double throughput_scale,
-                             fault::FaultInjector* faults)
+                             fault::FaultInjector* faults,
+                             RuntimeGovernor* governor)
     : profile_(profile), throughput_scale_(throughput_scale),
-      faults_(faults) {}
+      faults_(faults),
+      governor_(governor_enabled_from_env() ? governor : nullptr) {}
 
 double DeviceSession::process(const FrameCost& cost) {
   double latency = 0.0;
@@ -36,11 +40,12 @@ double DeviceSession::process(const FrameCost& cost) {
   }
   latency +=
       profile_.inference_latency_ms(cost.detector_flops, throughput_scale_);
-  if (cost.deadline_ms > 0.0 && latency > cost.deadline_ms) {
-    ++deadline_overruns_;
-  }
+  const bool overrun = cost.deadline_ms > 0.0 && latency > cost.deadline_ms;
+  if (overrun) ++deadline_overruns_;
   latencies_.push_back(latency);
+  overrun_flags_.push_back(overrun ? 1 : 0);
   total_ms_ += latency;
+  if (governor_ != nullptr) governor_->observe(latency, overrun);
   return latency;
 }
 
@@ -51,12 +56,37 @@ double DeviceSession::mean_latency_ms() const {
 
 double DeviceSession::p95_latency_ms() const {
   if (latencies_.empty()) return 0.0;
-  // Nearest-rank percentile: ceil(0.95 * n)-th smallest value.
+  // Nearest-rank percentile: ceil(0.95 * n)-th smallest value. The rank
+  // is clamped into [1, n] so single-frame sessions (ceil(0.95) = 1) and
+  // any future percentile tweak stay in bounds.
   std::vector<double> sorted = latencies_;
   std::sort(sorted.begin(), sorted.end());
   const std::size_t n = sorted.size();
-  const std::size_t rank = (n * 95 + 99) / 100;  // ceil(n * 0.95)
+  const std::size_t rank = std::clamp<std::size_t>((n * 95 + 99) / 100, 1, n);
   return sorted[rank - 1];
+}
+
+double DeviceSession::recent_mean_latency_ms(std::size_t n) const {
+  ANOLE_CHECK_GE(n, 1u, "recent_mean_latency_ms: window must be >= 1");
+  if (latencies_.empty()) return 0.0;
+  const std::size_t take = std::min(n, latencies_.size());
+  double sum = 0.0;
+  for (std::size_t i = latencies_.size() - take; i < latencies_.size(); ++i) {
+    sum += latencies_[i];
+  }
+  return sum / static_cast<double>(take);
+}
+
+double DeviceSession::recent_overrun_rate(std::size_t n) const {
+  ANOLE_CHECK_GE(n, 1u, "recent_overrun_rate: window must be >= 1");
+  if (overrun_flags_.empty()) return 0.0;
+  const std::size_t take = std::min(n, overrun_flags_.size());
+  std::size_t overruns = 0;
+  for (std::size_t i = overrun_flags_.size() - take; i < overrun_flags_.size();
+       ++i) {
+    overruns += overrun_flags_[i];
+  }
+  return static_cast<double>(overruns) / static_cast<double>(take);
 }
 
 double DeviceSession::fps() const {

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "device/governor.hpp"
 #include "device/profile.hpp"
 #include "util/fault.hpp"
 
@@ -44,8 +45,13 @@ class DeviceSession {
  public:
   /// `faults` (optional, site `load_latency_spike`) injects I/O latency
   /// spikes into frames that stream weights; it must outlive the session.
+  /// `governor` (optional) receives one observe() per processed frame so
+  /// it can react to overload; it must outlive the session. The pointer
+  /// is ignored when `governor_enabled_from_env()` is false, so
+  /// ANOLE_GOVERNOR=0 reproduces the ungoverned timeline exactly.
   DeviceSession(const DeviceProfile& profile, double throughput_scale = 1.0,
-                fault::FaultInjector* faults = nullptr);
+                fault::FaultInjector* faults = nullptr,
+                RuntimeGovernor* governor = nullptr);
 
   /// Charges one frame and returns its end-to-end latency in ms.
   double process(const FrameCost& cost);
@@ -60,6 +66,14 @@ class DeviceSession {
 
   /// 95th-percentile frame latency (nearest-rank); 0 for empty sessions.
   double p95_latency_ms() const;
+
+  /// Mean latency over the most recent min(n, frames()) frames; 0 for
+  /// empty sessions. Requires n >= 1.
+  double recent_mean_latency_ms(std::size_t n) const;
+
+  /// Fraction of the most recent min(n, frames()) frames that overran
+  /// their deadline; 0 for empty sessions. Requires n >= 1.
+  double recent_overrun_rate(std::size_t n) const;
 
   /// Frames whose latency exceeded their (non-zero) deadline_ms.
   std::size_t deadline_overruns() const { return deadline_overruns_; }
@@ -78,8 +92,11 @@ class DeviceSession {
   const DeviceProfile profile_;
   double throughput_scale_;
   fault::FaultInjector* faults_;
+  RuntimeGovernor* governor_;
   bool framework_initialized_ = false;
   std::vector<double> latencies_;
+  /// Per-frame deadline-overrun flags, parallel to latencies_.
+  std::vector<std::uint8_t> overrun_flags_;
   double total_ms_ = 0.0;
   std::size_t deadline_overruns_ = 0;
   std::size_t latency_spikes_ = 0;

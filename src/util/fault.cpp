@@ -9,7 +9,7 @@ namespace {
 
 constexpr std::array<const char*, kSiteCount> kSiteNames = {
     "model_load", "artifact_section", "decision_output", "frame_payload",
-    "load_latency_spike"};
+    "load_latency_spike", "memory_pressure"};
 
 std::size_t site_index(Site site) {
   const auto index = static_cast<std::size_t>(site);
@@ -84,7 +84,7 @@ FaultInjector::FaultInjector(const std::string& spec)
     const auto site = site_from_name(key);
     ANOLE_CHECK(site.has_value(), "ANOLE_FAULTS: unknown site '", key,
                 "' (sites: model_load, artifact_section, decision_output, "
-                "frame_payload, load_latency_spike)");
+                "frame_payload, load_latency_spike, memory_pressure)");
     const std::size_t x = value.find('x');
     double mag = 1.0;
     std::string_view prob_text = value;

@@ -2,7 +2,7 @@
 //
 // A FaultInjector owns one seeded Rng stream per named injection site
 // (model loads, artifact sections, decision outputs, frame payloads, load
-// latency spikes). Every component that can fail consults its injector at
+// latency spikes, memory pressure). Every component that can fail consults its injector at
 // a fixed point in the *sequential* part of its pipeline, so for a given
 // (seed, site probabilities) configuration the full fault schedule — which
 // events fail, in which order — is replayable bit-for-bit across runs and
@@ -50,9 +50,12 @@ enum class Site : std::size_t {
   /// A model load stalls (I/O contention); latency multiplied by the
   /// site's magnitude.
   kLoadLatencySpike,
+  /// The OS reclaims device memory: the cache's byte budget shrinks by
+  /// the site's magnitude (divisor) for a pressure window of admissions.
+  kMemoryPressure,
 };
 
-inline constexpr std::size_t kSiteCount = 5;
+inline constexpr std::size_t kSiteCount = 6;
 
 const char* to_string(Site site);
 std::optional<Site> site_from_name(std::string_view name);

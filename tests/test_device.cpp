@@ -253,6 +253,79 @@ TEST(DeviceSession, InjectedLoadSpikeMultipliesLoadLatency) {
   EXPECT_EQ(injector.checks(fault::Site::kLoadLatencySpike), 1u);
 }
 
+TEST(DeviceSession, P95WithOneFrameIsThatFrame) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  DeviceSession session(tx2);
+  FrameCost cost;
+  cost.detector_flops = kTinyFlops;
+  const double latency = session.process(cost);
+  // Regression: nearest-rank with n = 1 must clamp to rank 1 (the only
+  // frame), not underflow to rank 0.
+  EXPECT_DOUBLE_EQ(session.p95_latency_ms(), latency);
+}
+
+TEST(DeviceSession, WindowedMeanCoversLastNFrames) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  DeviceSession session(tx2);
+  FrameCost cheap;
+  cheap.detector_flops = kTinyFlops;
+  FrameCost costly;
+  costly.detector_flops = 10 * kTinyFlops;
+  double cheap_ms = 0.0;
+  double costly_ms = 0.0;
+  for (int i = 0; i < 10; ++i) cheap_ms = session.process(cheap);
+  for (int i = 0; i < 10; ++i) costly_ms = session.process(costly);
+  EXPECT_DOUBLE_EQ(session.recent_mean_latency_ms(10), costly_ms);
+  EXPECT_NEAR(session.recent_mean_latency_ms(20),
+              (cheap_ms + costly_ms) / 2.0, 1e-9);
+  // A window larger than the session clamps to every frame.
+  EXPECT_NEAR(session.recent_mean_latency_ms(1000),
+              session.mean_latency_ms(), 1e-9);
+  EXPECT_THROW((void)session.recent_mean_latency_ms(0),
+               std::invalid_argument);
+}
+
+TEST(DeviceSession, WindowedAccessorsOnEmptySession) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  const DeviceSession session(tx2);
+  EXPECT_DOUBLE_EQ(session.recent_mean_latency_ms(8), 0.0);
+  EXPECT_DOUBLE_EQ(session.recent_overrun_rate(8), 0.0);
+}
+
+TEST(DeviceSession, WindowedOverrunRateTracksRecentFrames) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  DeviceSession session(tx2);
+  FrameCost tight;
+  tight.detector_flops = kTinyFlops;
+  tight.deadline_ms = 0.5;
+  FrameCost relaxed = tight;
+  relaxed.deadline_ms = 1e9;
+  for (int i = 0; i < 4; ++i) (void)session.process(tight);
+  for (int i = 0; i < 4; ++i) (void)session.process(relaxed);
+  EXPECT_DOUBLE_EQ(session.recent_overrun_rate(4), 0.0);
+  EXPECT_DOUBLE_EQ(session.recent_overrun_rate(8), 0.5);
+  EXPECT_DOUBLE_EQ(session.recent_overrun_rate(100), 0.5);
+  EXPECT_THROW((void)session.recent_overrun_rate(0), std::invalid_argument);
+}
+
+TEST(DeviceSession, FeedsObservationsToGovernor) {
+  const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
+  RuntimeGovernor governor;
+  DeviceSession session(tx2, 1.0, nullptr, &governor);
+  FrameCost tight;
+  tight.detector_flops = kTinyFlops;
+  tight.deadline_ms = 0.5;  // every frame overruns
+  for (std::size_t i = 0; i < governor.config().window; ++i) {
+    (void)governor.plan();
+    (void)session.process(tight);
+  }
+  // The session forwarded every overrun verdict: the window saturates and
+  // the governor escalates out of kNormal.
+  EXPECT_DOUBLE_EQ(governor.window_overrun_rate(), 1.0);
+  EXPECT_NE(governor.state(), GovernorState::kNormal);
+  EXPECT_GE(governor.transitions(), 1u);
+}
+
 /// Power-mode sweep: higher budgets give higher throughput (Fig. 11).
 class PowerModeTest : public ::testing::TestWithParam<std::size_t> {};
 

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace anole::core {
@@ -214,6 +216,231 @@ TEST_P(CacheMissRateTest, SmallCacheHandlesPowerLawRankings) {
 
 INSTANTIATE_TEST_SUITE_P(Capacities, CacheMissRateTest,
                          ::testing::Values(2, 3, 5, 8, 12));
+
+/// --- preload vs the quarantine ladder (regressions) ---
+
+TEST(ModelCachePreload, SkipsPermanentlyQuarantinedModels) {
+  ModelCache cache(3, make_config(3, EvictionPolicy::kLfu));
+  cache.set_pinned_fallback(0);
+  cache.quarantine_forever(1);
+  const std::vector<std::size_t> models = {1, 2};
+  cache.preload(models);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  // Preload must not resurrect a permanently exiled model, ever.
+  cache.preload(models);
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.is_quarantined(1));
+  const auto admission = cache.admit({1, 2});
+  EXPECT_EQ(admission.served_model, 2u);
+}
+
+TEST(ModelCachePreload, CannotResurrectEvictedQuarantinedResident) {
+  ModelCache cache(3, make_config(3, EvictionPolicy::kLfu));
+  cache.set_pinned_fallback(0);
+  const std::vector<std::size_t> models = {1};
+  cache.preload(models);
+  ASSERT_TRUE(cache.contains(1));
+  // quarantine_forever evicts the resident copy; a later preload of the
+  // same id must stay a no-op.
+  cache.quarantine_forever(1);
+  EXPECT_FALSE(cache.contains(1));
+  cache.preload(models);
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST(ModelCacheLadder, CooldownDoublingIsCapped) {
+  // Each repeat offence doubles the cooldown, capped at 2^6 base frames:
+  // 1, 2, 4, ..., 64, 64, 64 for quarantine_frames = 1.
+  CacheConfig config = make_config(2, EvictionPolicy::kLfu);
+  config.max_load_attempts = 1;
+  config.quarantine_after = 1;
+  config.quarantine_frames = 1;
+  fault::FaultInjector injector;
+  injector.arm(fault::Site::kModelLoad, 1.0);  // every load fails
+  ModelCache cache(3, config);
+  cache.set_fault_injector(&injector);
+  cache.set_pinned_fallback(0);
+
+  std::vector<std::size_t> cooldowns;
+  for (int offence = 0; offence < 9; ++offence) {
+    const auto admission = cache.admit({1, 0});
+    ASSERT_EQ(admission.quarantined, 1u) << "offence " << offence;
+    std::size_t waited = 0;
+    while (cache.is_quarantined(1)) {
+      (void)cache.admit({0});
+      ++waited;
+      ASSERT_LE(waited, 200u);
+    }
+    cooldowns.push_back(waited);
+  }
+  const std::vector<std::size_t> expected = {1, 2, 4, 8, 16, 32, 64, 64, 64};
+  EXPECT_EQ(cooldowns, expected);
+}
+
+/// --- byte budget (DESIGN.md §11) ---
+
+CacheConfig budget_config(std::size_t capacity, std::uint64_t budget) {
+  CacheConfig config = make_config(capacity, EvictionPolicy::kLfu);
+  config.memory_budget_bytes = budget;
+  return config;
+}
+
+TEST(ModelCacheBudget, EvictsBytesToFitNotOneSlot) {
+  // Three 30-byte residents; loading a 90-byte model under a 100-byte
+  // budget must displace all three, not just the one slot-eviction.
+  ModelCache cache(4, budget_config(5, 100));
+  const std::vector<std::uint64_t> bytes = {30, 30, 30, 90};
+  cache.set_model_bytes(bytes);
+  (void)cache.admit({0, 1, 2, 3});
+  (void)cache.admit({1, 0, 2, 3});
+  (void)cache.admit({2, 0, 1, 3});
+  EXPECT_EQ(cache.resident_bytes(), 90u);
+  const auto admission = cache.admit({3, 2, 1, 0});
+  EXPECT_EQ(admission.loaded, 3u);
+  EXPECT_EQ(admission.evicted_count, 3u);
+  EXPECT_EQ(cache.resident_models(), std::vector<std::size_t>{3});
+  EXPECT_EQ(cache.resident_bytes(), 90u);
+  EXPECT_GE(cache.budget_evictions(), 3u);
+}
+
+TEST(ModelCacheBudget, OversizedLoadRefusedServesBestResident) {
+  ModelCache cache(4, budget_config(5, 100));
+  const std::vector<std::uint64_t> bytes = {40, 40, 40, 150};
+  cache.set_model_bytes(bytes);
+  (void)cache.admit({0, 1, 2, 3});
+  // Model 3 exceeds the whole budget: the load is refused outright (no
+  // retry, no quarantine — the model is healthy, the budget is not) and
+  // the best resident serves.
+  const auto admission = cache.admit({3, 0, 1, 2});
+  EXPECT_TRUE(admission.load_refused_oversized);
+  EXPECT_FALSE(admission.loaded.has_value());
+  EXPECT_EQ(admission.served_model, 0u);
+  EXPECT_FALSE(cache.contains(3));
+  EXPECT_FALSE(cache.is_quarantined(3));
+  EXPECT_EQ(cache.oversized_rejections(), 1u);
+  EXPECT_EQ(cache.load_failures(), 0u);
+  EXPECT_EQ(cache.abandoned_loads(), 0u);
+}
+
+TEST(ModelCacheBudget, OversizedColdStartDegradesToPinned) {
+  ModelCache cache(3, budget_config(3, 100));
+  const std::vector<std::uint64_t> bytes = {40, 40, 150};
+  cache.set_model_bytes(bytes);
+  cache.set_pinned_fallback(0);
+  const auto admission = cache.admit({2});
+  EXPECT_TRUE(admission.load_refused_oversized);
+  EXPECT_TRUE(admission.served_pinned);
+  EXPECT_EQ(admission.served_model, 0u);
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(ModelCacheBudget, ZeroBudgetDisablesByteAccounting) {
+  // budget 0 = today's behavior: sizes are tracked but never constrain.
+  ModelCache cache(4, make_config(3, EvictionPolicy::kLfu));
+  const std::vector<std::uint64_t> bytes = {1000, 1000, 1000, 1000};
+  cache.set_model_bytes(bytes);
+  (void)cache.admit({0, 1, 2, 3});
+  (void)cache.admit({1, 0, 2, 3});
+  (void)cache.admit({2, 0, 1, 3});
+  EXPECT_EQ(cache.resident_models().size(), 3u);
+  EXPECT_EQ(cache.resident_bytes(), 3000u);
+  EXPECT_EQ(cache.effective_budget_bytes(), 0u);
+  EXPECT_EQ(cache.budget_evictions(), 0u);
+  EXPECT_EQ(cache.oversized_rejections(), 0u);
+}
+
+TEST(ModelCacheBudget, SetModelBytesValidatesCount) {
+  ModelCache cache(3, budget_config(3, 100));
+  const std::vector<std::uint64_t> wrong = {10, 10};
+  EXPECT_THROW(cache.set_model_bytes(wrong), std::invalid_argument);
+}
+
+TEST(ModelCacheBudget, ShrinkingBudgetEvictsImmediately) {
+  ModelCache cache(3, budget_config(3, 120));
+  const std::vector<std::uint64_t> bytes = {50, 50, 50};
+  cache.set_model_bytes(bytes);
+  const std::vector<std::size_t> models = {0, 1};
+  cache.preload(models);
+  EXPECT_EQ(cache.resident_bytes(), 100u);
+  cache.set_memory_budget_bytes(60);
+  EXPECT_EQ(cache.resident_models().size(), 1u);
+  EXPECT_LE(cache.resident_bytes(), 60u);
+  EXPECT_GE(cache.budget_evictions(), 1u);
+}
+
+TEST(ModelCacheBudget, PreloadRespectsBudget) {
+  ModelCache cache(3, budget_config(3, 100));
+  const std::vector<std::uint64_t> bytes = {40, 40, 150};
+  cache.set_model_bytes(bytes);
+  const std::vector<std::size_t> models = {2, 0, 1};
+  cache.preload(models);
+  // The oversized model is skipped; the rest fill up to the budget.
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(0));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_LE(cache.resident_bytes(), 100u);
+}
+
+TEST(ModelCacheBudget, MemoryPressureShrinksBudgetForAWindow) {
+  CacheConfig config = budget_config(3, 120);
+  config.pressure_window = 4;
+  ModelCache cache(3, config);
+  const std::vector<std::uint64_t> bytes = {50, 50, 50};
+  cache.set_model_bytes(bytes);
+  const std::vector<std::size_t> models = {0, 1};
+  cache.preload(models);
+  ASSERT_EQ(cache.resident_bytes(), 100u);
+
+  fault::FaultInjector injector;
+  injector.arm(fault::Site::kMemoryPressure, 1.0, /*magnitude=*/2.0);
+  cache.set_fault_injector(&injector);
+  // The next admission fires the pressure fault: budget halves to 60 and
+  // residents are evicted down to it immediately.
+  (void)cache.admit({0, 1, 2});
+  EXPECT_TRUE(cache.under_pressure());
+  EXPECT_EQ(cache.effective_budget_bytes(), 60u);
+  EXPECT_LE(cache.resident_bytes(), 60u);
+  EXPECT_EQ(cache.pressure_events(), 1u);
+
+  // Disarm and wait out the window: the full budget returns.
+  injector.disarm(fault::Site::kMemoryPressure);
+  for (int i = 0; i < 4; ++i) (void)cache.admit({0, 1, 2});
+  EXPECT_FALSE(cache.under_pressure());
+  EXPECT_EQ(cache.effective_budget_bytes(), 120u);
+}
+
+TEST(ModelCacheBudget, PinnedFallbackLoadIsExemptFromOversizedRefusal) {
+  // The premodel is the last line of defence: even when it exceeds the
+  // budget it loads (draining the cache first) rather than leaving the
+  // frame unserved.
+  ModelCache cache(3, budget_config(3, 100));
+  const std::vector<std::uint64_t> bytes = {150, 40, 40};
+  cache.set_model_bytes(bytes);
+  cache.set_pinned_fallback(0);
+  const auto admission = cache.admit({});
+  EXPECT_TRUE(admission.served_pinned);
+  EXPECT_EQ(admission.served_model, 0u);
+  EXPECT_TRUE(cache.contains(0));
+}
+
+TEST(ModelCacheBudget, SuppressedSwapServesResidentWithoutLoading) {
+  ModelCache cache(4, make_config(2, EvictionPolicy::kLfu));
+  (void)cache.admit({0, 1, 2, 3});
+  const AdmitOptions no_swap{.allow_load = false};
+  const auto admission = cache.admit({3, 0, 1, 2}, no_swap);
+  EXPECT_TRUE(admission.swap_suppressed);
+  EXPECT_FALSE(admission.loaded.has_value());
+  EXPECT_EQ(admission.served_model, 0u);
+  EXPECT_FALSE(cache.contains(3));
+  EXPECT_EQ(cache.misses(), 2u);  // still a miss, just not a load
+  // A cold miss ignores the suppression: something must serve.
+  ModelCache cold(4, make_config(2, EvictionPolicy::kLfu));
+  const auto forced = cold.admit({3, 0, 1, 2}, no_swap);
+  EXPECT_FALSE(forced.swap_suppressed);
+  EXPECT_EQ(forced.loaded, 3u);
+  EXPECT_EQ(forced.served_model, 3u);
+}
 
 }  // namespace
 }  // namespace anole::core
