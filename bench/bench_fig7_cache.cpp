@@ -5,7 +5,7 @@
 #include <memory>
 
 #include "bench/common.hpp"
-#include "device/governor.hpp"
+#include "core/governor.hpp"
 #include "device/session.hpp"
 #include "util/fault.hpp"
 #include "util/stats.hpp"
@@ -124,7 +124,7 @@ int main() {
                                bool governed) {
     auto faults =
         std::make_shared<fault::FaultInjector>(std::string(kBurstSpec));
-    device::RuntimeGovernor governor;
+    core::RuntimeGovernor governor;
     core::EngineConfig config;
     config.cache = bench::standard_cache_config();
     config.cache.memory_budget_bytes = memory_budget_bytes;

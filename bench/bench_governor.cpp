@@ -14,7 +14,7 @@
 
 #include "bench/common.hpp"
 #include "detect/detection.hpp"
-#include "device/governor.hpp"
+#include "core/governor.hpp"
 #include "device/session.hpp"
 #include "util/fault.hpp"
 
@@ -96,7 +96,7 @@ int main() {
   const auto run = [&](bool governed) {
     auto faults =
         std::make_shared<fault::FaultInjector>(std::string(kOverloadSpec));
-    device::RuntimeGovernor governor;
+    core::RuntimeGovernor governor;
     core::EngineConfig config;
     config.cache = bench::standard_cache_config();
     config.cache.memory_budget_bytes = 3 * max_model_bytes;

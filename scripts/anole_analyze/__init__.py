@@ -1,0 +1,20 @@
+"""anole_analyze: structured static analysis for the Anole codebase.
+
+Replaces the historical line-regex linter with a token-level C++ scanner,
+an include-graph builder, and pluggable rule passes. The public entry
+point is scripts/anole_lint.py (kept stable for CI and muscle memory);
+the package is also importable for the self-test in
+scripts/test_anole_analyze.py.
+
+Modules:
+  lexer          comment/string-stripped token stream (raw strings and
+                 line continuations handled correctly)
+  include_graph  per-file include edges, module layering DAG, cycles
+  contracts      public-function contract (ANOLE_CHECK*) coverage
+  rules          the rule catalog (token passes + graph passes)
+  driver         file collection, rule running, ratchet baseline, CLI
+"""
+
+from anole_analyze.driver import main, run_analysis  # noqa: F401
+
+__all__ = ["main", "run_analysis"]

@@ -1,0 +1,254 @@
+"""Contract-coverage analysis: which public functions validate inputs.
+
+PR 1 established the convention that public API boundaries validate their
+arguments with the ANOLE_CHECK* macros (DESIGN.md §7). This pass parses
+every function *definition* at namespace scope in src/*/*.cpp and reports
+the fraction whose bodies reach an ANOLE_CHECK* / ANOLE_DCHECK* /
+ANOLE_UNREACHABLE within the prologue — the first PROLOGUE_STATEMENTS
+statements of the body, where guards belong (a check after real work has
+already run on unvalidated inputs).
+
+Excluded from the population (they are not public API boundaries):
+  * functions in anonymous namespaces and file-static functions;
+  * lambdas and function-local helpers;
+  * operators and destructors (no preconditions by construction);
+  * `main`.
+
+The resulting (covered, total) pair feeds the ratchet in
+scripts/lint_baseline.json: coverage may only go up. See driver.py.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from anole_analyze.lexer import Token
+
+PROLOGUE_STATEMENTS = 8
+
+CHECK_MACROS_PREFIXES = ("ANOLE_CHECK", "ANOLE_DCHECK", "ANOLE_UNREACHABLE")
+
+_CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return"}
+_SKIP_NAMES = {"main"}
+
+
+@dataclass
+class FunctionInfo:
+    name: str  # qualified, e.g. "AnoleEngine::process"
+    line: int
+    covered: bool
+    statements: int  # top-level statements in the body (size signal)
+
+
+def _is_check_ident(text: str) -> bool:
+    return text.startswith(CHECK_MACROS_PREFIXES)
+
+
+def scan_functions(tokens: list[Token]) -> list[FunctionInfo]:
+    """Walks the code-token stream of one .cpp file and extracts
+    namespace-scope function definitions with their contract coverage."""
+    functions: list[FunctionInfo] = []
+    # Stack entry per open '{': one of 'namespace', 'anon-namespace',
+    # 'class', 'function', 'control', 'other'.
+    stack: list[str] = []
+    i = 0
+    n = len(tokens)
+    while i < n:
+        tok = tokens[i]
+        if tok.kind == "punct" and tok.text == "{":
+            kind = _classify_brace(tokens, i)
+            if kind == "function" and _at_namespace_scope(stack):
+                info = _analyze_function(tokens, i)
+                if info is not None:
+                    functions.append(info)
+                    # Skip the whole body: nested braces belong to it.
+                    i = _matching_brace(tokens, i)
+                    continue
+            stack.append(kind)
+        elif tok.kind == "punct" and tok.text == "}":
+            if stack:
+                stack.pop()
+        i += 1
+    return functions
+
+
+def _at_namespace_scope(stack: list[str]) -> bool:
+    return all(kind == "namespace" for kind in stack)
+
+
+def _matching_brace(tokens: list[Token], open_idx: int) -> int:
+    depth = 0
+    for j in range(open_idx, len(tokens)):
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+    return len(tokens)
+
+
+def _classify_brace(tokens: list[Token], brace_idx: int) -> str:
+    """Decides what the '{' at brace_idx opens by looking backwards."""
+    j = brace_idx - 1
+    if j < 0:
+        return "other"
+    # Function bodies may have qualifiers between ')' and '{'.
+    k = j
+    ident_qualifiers = {"const", "noexcept", "override", "final", "mutable"}
+    punct_qualifiers = {"&", "&&"}
+    while k >= 0 and (
+            (tokens[k].kind == "ident"
+             and tokens[k].text in ident_qualifiers)
+            or (tokens[k].kind == "punct"
+                and tokens[k].text in punct_qualifiers)):
+        k -= 1
+    t = tokens[k]
+    if t.kind == "punct" and t.text == ")":
+        open_paren = _matching_paren_back(tokens, k)
+        if open_paren is None:
+            return "other"
+        before = open_paren - 1
+        if before < 0:
+            return "other"
+        bt = tokens[before]
+        if bt.kind == "ident" and bt.text in ("if", "for", "while",
+                                              "switch", "catch"):
+            return "control"
+        if bt.kind == "punct" and bt.text == "]":
+            return "function"  # lambda (never counted: not namespace scope)
+        if bt.kind == "ident":
+            return "function"
+        return "other"
+    if t.kind == "ident":
+        if t.text == "namespace":
+            return "anon-namespace"
+        # Walk back over a qualified chain: `namespace anole::core {`.
+        back = k
+        while (back - 1 >= 0 and tokens[back - 1].kind == "punct"
+               and tokens[back - 1].text == "::"):
+            back -= 2
+        prev = tokens[back - 1] if back - 1 >= 0 else None
+        if prev is not None and prev.kind == "ident" and (
+                prev.text == "namespace"):
+            return "namespace"
+        # class/struct/enum/union NAME [final] [: bases] {
+        while back >= 0 and not (
+                tokens[back].kind == "punct" and
+                tokens[back].text in ";}{"):
+            if tokens[back].kind == "ident" and tokens[back].text in (
+                    "class", "struct", "enum", "union"):
+                return "class"
+            back -= 1
+        return "other"
+    return "other"
+
+
+def _matching_paren_back(tokens: list[Token], close_idx: int):
+    depth = 0
+    for j in range(close_idx, -1, -1):
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text == ")":
+                depth += 1
+            elif t.text == "(":
+                depth -= 1
+                if depth == 0:
+                    return j
+    return None
+
+
+def _analyze_function(tokens: list[Token], brace_idx: int):
+    """Extracts name + coverage for the function whose body opens at
+    brace_idx. Returns None when the definition is not a public API
+    boundary (static, anonymous-namespace caller handles that, operator,
+    destructor, constructor-with-init-list ambiguity resolved upstream)."""
+    # Find the parameter list, walking back through any constructor
+    # initializer list: `Class::Class(params) : a_(x), b_(y) {` must
+    # resolve to the `(params)` list, not `b_(y)`.
+    k = brace_idx - 1
+    name = simple = None
+    j = -1
+    while k >= 0:
+        while k >= 0 and not (tokens[k].kind == "punct"
+                              and tokens[k].text == ")"):
+            k -= 1
+        open_paren = _matching_paren_back(tokens, k) if k >= 0 else None
+        if open_paren is None:
+            return None
+        name_idx = open_paren - 1
+        if name_idx < 0 or tokens[name_idx].kind != "ident":
+            return None
+        # Qualified-name chain: ident (:: ident)* backwards.
+        parts = [tokens[name_idx].text]
+        j = name_idx - 1
+        while (j - 1 >= 0 and tokens[j].kind == "punct"
+               and tokens[j].text == "::" and tokens[j - 1].kind == "ident"):
+            parts.append(tokens[j - 1].text)
+            j -= 2
+        prev = tokens[j] if j >= 0 else None
+        if prev is not None and prev.kind == "punct" and prev.text in (
+                ",", ":"):
+            # Member initializer: hop past it and retry.
+            k = j - 1
+            continue
+        parts.reverse()
+        name = "::".join(parts)
+        simple = parts[-1]
+        break
+    if name is None:
+        return None
+
+    if simple in _CONTROL_KEYWORDS or simple in _SKIP_NAMES:
+        return None
+    if simple == "operator" or simple.startswith("operator"):
+        return None
+    if simple.startswith("~"):
+        return None
+    # Destructor spelled Class::~Class lexes as ident '~'? '~' is punct,
+    # so the chain stops at it; detect via preceding punct '~'.
+    if j >= 0 and tokens[j].kind == "punct" and tokens[j].text == "~":
+        return None
+
+    # Static / anonymous linkage: scan the declaration head (back to the
+    # previous ';', '}' or '{') for `static`.
+    back = j
+    while back >= 0 and not (tokens[back].kind == "punct"
+                             and tokens[back].text in ";}{"):
+        if tokens[back].kind == "ident" and tokens[back].text == "static":
+            return None
+        back -= 1
+
+    covered, statements = _body_coverage(tokens, brace_idx)
+    return FunctionInfo(name=name, line=tokens[name_idx].line,
+                        covered=covered, statements=statements)
+
+
+def _body_coverage(tokens: list[Token], brace_idx: int):
+    """True when a check macro appears within the prologue: before the
+    PROLOGUE_STATEMENTS-th top-level statement of the body."""
+    depth = 0
+    statements = 0
+    top_level_statements = 0
+    covered = False
+    j = brace_idx
+    while j < len(tokens):
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif t.text == ";":
+                statements += 1
+                if depth == 1:
+                    top_level_statements += 1
+        elif (t.kind == "ident" and _is_check_ident(t.text)
+              and statements < PROLOGUE_STATEMENTS):
+            covered = True
+        j += 1
+    return covered, top_level_statements

@@ -1,0 +1,176 @@
+"""Include-graph construction and the module layering DAG.
+
+The repo's modules form a strict layering (DESIGN.md §12):
+
+    layer 0   util
+    layer 1   tensor
+    layer 2   nn
+    layer 3   cluster  sampling  detect  world
+    layer 4   core
+    layer 5   device  eval  baselines
+
+A `#include "other_module/..."` edge from module A to module B is legal
+only when layer(B) < layer(A), or when both sit in the same layer group
+(lateral edges, e.g. detect → world) *and* the module-level graph stays
+acyclic. Upward edges and cycles are errors with zero exemptions; a
+violation is fixed by moving code down the stack, never baselined.
+
+File-level include cycles (header A includes header B includes A) are
+also reported — they are invisible to the module check when both files
+share a module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MODULE_LAYERS: dict[str, int] = {
+    "util": 0,
+    "tensor": 1,
+    "nn": 2,
+    "cluster": 3,
+    "sampling": 3,
+    "detect": 3,
+    "world": 3,
+    "core": 4,
+    "device": 5,
+    "eval": 5,
+    "baselines": 5,
+}
+
+
+@dataclass(frozen=True)
+class IncludeEdge:
+    src_file: str  # repo-relative posix path
+    line: int
+    dst_path: str  # the include path as written
+
+
+class IncludeGraph:
+    """Quoted-include edges between repo files, plus the module rollup."""
+
+    def __init__(self):
+        self.edges: list[IncludeEdge] = []
+        # file -> list[(line, dst_path)] for quoted includes
+        self.by_file: dict[str, list[IncludeEdge]] = {}
+
+    def add(self, src_file: str, line: int, dst_path: str):
+        edge = IncludeEdge(src_file, line, dst_path)
+        self.edges.append(edge)
+        self.by_file.setdefault(src_file, []).append(edge)
+
+    # -- module layering ---------------------------------------------------
+
+    def layering_findings(self):
+        """Yields (file, line, message) for upward edges, unknown modules,
+        and module-level cycles, considering only files under src/."""
+        findings = []
+        module_edges: dict[tuple[str, str], IncludeEdge] = {}
+        for edge in self.edges:
+            if not edge.src_file.startswith("src/"):
+                continue
+            src_mod = _module_of(edge.src_file)
+            dst_mod = edge.dst_path.split("/")[0]
+            if dst_mod not in MODULE_LAYERS:
+                # Quoted include that is not module-shaped (rare; the repo
+                # uses "module/header.hpp" everywhere). Flag it so the DAG
+                # stays auditable.
+                findings.append((
+                    edge.src_file, edge.line,
+                    f'include "{edge.dst_path}" is not module-qualified; '
+                    f"expected \"<module>/<header>\" with module one of "
+                    f"{sorted(MODULE_LAYERS)}"))
+                continue
+            if src_mod is None or src_mod == dst_mod:
+                continue
+            if src_mod not in MODULE_LAYERS:
+                findings.append((
+                    edge.src_file, edge.line,
+                    f"module '{src_mod}' is not in the layering table; add "
+                    f"it to MODULE_LAYERS (include_graph.py) and DESIGN.md "
+                    f"§12"))
+                continue
+            if MODULE_LAYERS[dst_mod] > MODULE_LAYERS[src_mod]:
+                findings.append((
+                    edge.src_file, edge.line,
+                    f"upward include: {src_mod} (layer "
+                    f"{MODULE_LAYERS[src_mod]}) must not include "
+                    f"\"{edge.dst_path}\" ({dst_mod} is layer "
+                    f"{MODULE_LAYERS[dst_mod]}); move the shared code down "
+                    f"the stack"))
+            module_edges.setdefault((src_mod, dst_mod), edge)
+
+        # Module-level cycle check (catches lateral cycles inside a layer
+        # group that the rank comparison cannot see).
+        adjacency: dict[str, set[str]] = {}
+        for (src_mod, dst_mod) in module_edges:
+            adjacency.setdefault(src_mod, set()).add(dst_mod)
+        cycle = _find_cycle(adjacency)
+        if cycle:
+            head = cycle[0]
+            edge = module_edges.get((cycle[0], cycle[1 % len(cycle)]))
+            where = (edge.src_file, edge.line) if edge else ("src", 1)
+            findings.append((
+                where[0], where[1],
+                "module include cycle: " + " -> ".join(cycle + [head])))
+        return findings
+
+    # -- file-level cycles -------------------------------------------------
+
+    def file_cycle_findings(self, known_files: set[str]):
+        """Yields (file, line, message) for quoted-include cycles between
+        files under src/. Include paths are repo-relative under src/."""
+        adjacency: dict[str, set[str]] = {}
+        locate: dict[tuple[str, str], int] = {}
+        for edge in self.edges:
+            if not edge.src_file.startswith("src/"):
+                continue
+            dst_file = "src/" + edge.dst_path
+            if dst_file not in known_files:
+                continue
+            adjacency.setdefault(edge.src_file, set()).add(dst_file)
+            locate[(edge.src_file, dst_file)] = edge.line
+        cycle = _find_cycle(adjacency)
+        if not cycle:
+            return []
+        first, second = cycle[0], cycle[1 % len(cycle)]
+        line = locate.get((first, second), 1)
+        return [(first, line,
+                 "file include cycle: " + " -> ".join(cycle + [cycle[0]]))]
+
+
+def _module_of(rel_path: str):
+    parts = rel_path.split("/")
+    if len(parts) >= 3 and parts[0] == "src":
+        return parts[1]
+    return None
+
+
+def _find_cycle(adjacency: dict[str, set[str]]):
+    """Returns one cycle as a node list (deterministic order), or None."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in adjacency}
+    for targets in adjacency.values():
+        for node in targets:
+            color.setdefault(node, WHITE)
+
+    def dfs(node, stack):
+        color[node] = GREY
+        stack.append(node)
+        for nxt in sorted(adjacency.get(node, ())):
+            if color[nxt] == GREY:
+                return stack[stack.index(nxt):]
+            if color[nxt] == WHITE:
+                cycle = dfs(nxt, stack)
+                if cycle:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(color):
+        if color[node] == WHITE:
+            cycle = dfs(node, [])
+            if cycle:
+                return list(cycle)
+    return None

@@ -1,0 +1,301 @@
+"""A lightweight C++ lexer for lint rules.
+
+Produces a token stream with comments removed and string/char literal
+*contents* opaque (the literal is one token; rules match code tokens, so
+text inside literals can never trigger a code rule). Compared to the old
+line-regex scanner this handles the two documented gaps:
+
+  * raw string literals — R"(...)" and R"delim(...)delim", with optional
+    encoding prefixes (u8R, uR, UR, LR);
+  * line-continuation backslashes — spliced per translation phase 2, so
+    a // comment or a preprocessor directive ending in `\\` swallows the
+    next physical line, and an identifier split across lines lexes as
+    one token. Line numbers always refer to the physical line a token
+    *starts* on.
+
+Preprocessor directives are lexed as single `pp` tokens (continuations
+included) so `#include <vector>` never leaks `<`/`vector`/`>` into the
+code stream; include paths are extracted separately into Include records.
+
+This is not a compiler front end: no keyword table, no preprocessing, no
+templates. It is exactly enough structure for the rule passes to reason
+about code the way a reviewer does.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Multi-character punctuators we want as single tokens. `::` matters most
+# (qualified names); the comparison/shift family matters for the
+# tie-break rule. Longest match first.
+_PUNCTUATORS = (
+    "->*", "<<=", ">>=", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=",
+)
+
+_IDENT_START = re.compile(r"[A-Za-z_]")
+_IDENT_CHAR = re.compile(r"[A-Za-z0-9_]")
+
+_RE_INCLUDE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+
+# Encoding prefixes that may precede a raw string's R.
+_RAW_PREFIXES = ("u8R", "uR", "UR", "LR", "R")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'ident' | 'number' | 'string' | 'char' | 'punct' | 'pp'
+    text: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Include:
+    line: int
+    path: str
+    angled: bool  # <...> vs "..."
+
+
+class LexResult:
+    def __init__(self, tokens: list[Token], includes: list[Include]):
+        self.tokens = tokens
+        self.includes = includes
+
+
+def _splice(text: str, i: int, line: int) -> tuple[int, int, bool]:
+    """If text[i:] starts a line continuation, consume it.
+
+    Returns (new_i, new_line, spliced). Handles `\\\n` and `\\\r\n`.
+    """
+    if text[i] != "\\":
+        return i, line, False
+    j = i + 1
+    if j < len(text) and text[j] == "\r":
+        j += 1
+    if j < len(text) and text[j] == "\n":
+        return j + 1, line + 1, True
+    return i, line, False
+
+
+def lex(text: str) -> LexResult:
+    tokens: list[Token] = []
+    includes: list[Include] = []
+    i = 0
+    n = len(text)
+    line = 1
+    at_line_start = True  # only whitespace seen since the last newline
+
+    def peek(k: int) -> str:
+        return text[i + k] if i + k < n else ""
+
+    while i < n:
+        ch = text[i]
+
+        # Line continuations between tokens.
+        ni, nline, spliced = _splice(text, i, line)
+        if spliced:
+            i, line = ni, nline
+            continue
+
+        if ch == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if ch in " \t\r\f\v":
+            i += 1
+            continue
+
+        # Comments.
+        if ch == "/" and peek(1) == "/":
+            i += 2
+            while i < n:
+                ni, nline, spliced = _splice(text, i, line)
+                if spliced:  # comment continues on the next physical line
+                    i, line = ni, nline
+                    continue
+                if text[i] == "\n":
+                    break
+                i += 1
+            continue
+        if ch == "/" and peek(1) == "*":
+            i += 2
+            while i < n and not (text[i] == "*" and peek(1) == "/"):
+                if text[i] == "\n":
+                    line += 1
+                i += 1
+            i = min(i + 2, n)
+            continue
+
+        # Preprocessor directive: one token, continuations included.
+        if ch == "#" and at_line_start:
+            start_line = line
+            chunk = []
+            while i < n:
+                ni, nline, spliced = _splice(text, i, line)
+                if spliced:
+                    i, line = ni, nline
+                    chunk.append(" ")
+                    continue
+                if text[i] == "\n":
+                    break
+                # A // comment ends the directive's useful text.
+                if text[i] == "/" and peek(1) == "/":
+                    break
+                if text[i] == "/" and peek(1) == "*":
+                    i += 2
+                    while i < n and not (text[i] == "*" and peek(1) == "/"):
+                        if text[i] == "\n":
+                            line += 1
+                        i += 1
+                    i = min(i + 2, n)
+                    chunk.append(" ")
+                    continue
+                chunk.append(text[i])
+                i += 1
+            directive = "".join(chunk)
+            tokens.append(Token("pp", directive, start_line))
+            m = _RE_INCLUDE.match(directive)
+            if m:
+                includes.append(
+                    Include(start_line, m.group(2), m.group(1) == "<"))
+            at_line_start = False
+            continue
+
+        at_line_start = False
+
+        # Raw string literals (must be checked before plain identifiers
+        # and strings: the prefix lexes like an identifier).
+        raw = _match_raw_string(text, i)
+        if raw is not None:
+            literal, consumed = raw
+            tokens.append(Token("string", literal, line))
+            line += literal.count("\n")
+            i += consumed
+            continue
+
+        # Identifiers / keywords (possibly split by a continuation).
+        if _IDENT_START.match(ch):
+            start_line = line
+            chunk = [ch]
+            i += 1
+            while i < n:
+                ni, nline, spliced = _splice(text, i, line)
+                if spliced:
+                    i, line = ni, nline
+                    continue
+                if _IDENT_CHAR.match(text[i]):
+                    chunk.append(text[i])
+                    i += 1
+                else:
+                    break
+            word = "".join(chunk)
+            # String/char with encoding prefix: u8"x", L'c', ...
+            if word in ("u8", "u", "U", "L") and i < n and text[i] in "\"'":
+                lit, consumed, nl = _scan_quoted(text, i)
+                tokens.append(
+                    Token("string" if text[i] == '"' else "char",
+                          word + lit, start_line))
+                line += nl
+                i += consumed
+                continue
+            tokens.append(Token("ident", word, start_line))
+            continue
+
+        # Numbers (enough precision for lint: digits, dots, exponents,
+        # suffixes, hex).
+        if ch.isdigit() or (ch == "." and peek(1).isdigit()):
+            start_line = line
+            j = i + 1
+            while j < n and (_IDENT_CHAR.match(text[j]) or text[j] == "."
+                             or (text[j] in "+-" and text[j - 1] in "eEpP")):
+                j += 1
+            tokens.append(Token("number", text[i:j], start_line))
+            i = j
+            continue
+
+        # Plain string / char literals.
+        if ch in "\"'":
+            lit, consumed, nl = _scan_quoted(text, i)
+            tokens.append(
+                Token("string" if ch == '"' else "char", lit, line))
+            line += nl
+            i += consumed
+            continue
+
+        # Punctuators.
+        matched = False
+        for p in _PUNCTUATORS:
+            if text.startswith(p, i):
+                tokens.append(Token("punct", p, line))
+                i += len(p)
+                matched = True
+                break
+        if not matched:
+            tokens.append(Token("punct", ch, line))
+            i += 1
+
+    return LexResult(tokens, includes)
+
+
+def _match_raw_string(text: str, i: int):
+    """Matches a raw string literal at text[i]; returns (literal, length)
+    or None. Raw strings have no escapes: they end at )delim" only."""
+    for prefix in _RAW_PREFIXES:
+        if not text.startswith(prefix, i):
+            continue
+        j = i + len(prefix)
+        if j >= len(text) or text[j] != '"':
+            continue
+        j += 1
+        # d-char-sequence: up to 16 chars, no space/()/backslash.
+        delim_end = j
+        while (delim_end < len(text) and delim_end - j <= 16
+               and text[delim_end] not in '()\\ \t\n"'):
+            delim_end += 1
+        if delim_end >= len(text) or text[delim_end] != "(":
+            continue
+        delim = text[j:delim_end]
+        closer = ")" + delim + '"'
+        end = text.find(closer, delim_end + 1)
+        if end < 0:  # unterminated: consume to EOF so we never mis-lex
+            end = len(text)
+            return text[i:end], end - i
+        end += len(closer)
+        return text[i:end], end - i
+    return None
+
+
+def _scan_quoted(text: str, i: int) -> tuple[str, int, int]:
+    """Scans a "..." or '...' literal at text[i]. Returns
+    (literal, consumed, newlines). Escapes and spliced newlines inside the
+    literal are handled; an unterminated literal runs to end of line."""
+    quote = text[i]
+    j = i + 1
+    newlines = 0
+    while j < len(text):
+        c = text[j]
+        if c == "\\":
+            if j + 1 < len(text) and text[j + 1] == "\n":
+                newlines += 1
+                j += 2
+                continue
+            j += 2
+            continue
+        if c == quote:
+            j += 1
+            break
+        if c == "\n":  # unterminated; stop at the line end
+            break
+        j += 1
+    return text[i:j], j - i, newlines
+
+
+def code_tokens(result: LexResult) -> list[Token]:
+    """The tokens rules should scan: identifiers, numbers, punctuation.
+    Literals and preprocessor directives are excluded, so nothing inside a
+    string or an #include can trip a code rule."""
+    return [t for t in result.tokens if t.kind in ("ident", "number", "punct")]

@@ -1,225 +1,28 @@
 #!/usr/bin/env python3
-"""Repo-invariant lint for the Anole codebase.
+"""Repo-invariant lint for the Anole codebase — stable entry point.
 
-Rules (each failure prints `file:line: rule-id: message`):
+The implementation lives in scripts/anole_analyze/: a token-level C++
+lexer (comments, strings, raw strings, and line continuations handled),
+an include-graph builder with the module layering DAG, and pluggable
+rule passes. Run `anole_lint.py --list-rules` for the catalog; DESIGN.md
+§12 documents each rule, the layering contract, and the ratchet
+semantics of scripts/lint_baseline.json.
 
-  no-c-prng            rand()/srand() are banned everywhere; use anole::Rng
-                       (util/rng.hpp) so experiments stay reproducible.
-  no-naked-new         `new` / `delete` expressions are banned outside
-                       src/tensor/ internals; use std::make_unique and
-                       containers. (`= delete` declarations are fine.)
-  no-using-namespace   `using namespace` in a header leaks into every
-                       includer; banned in .hpp files.
-  own-header-first     A module's .cpp must include its own header first so
-                       headers stay self-contained.
-  no-cout              std::cout is banned outside examples/ and bench/;
-                       library code reports through util/log.hpp.
-  no-raw-thread        std::thread / std::jthread / std::async are banned
-                       outside src/util/parallel.*; all parallelism goes
-                       through the deterministic pool (util/parallel.hpp)
-                       so results stay reproducible at any thread count.
-  no-throw-omi-hot-path
-                       literal `throw` is banned in the per-frame OMI hot
-                       path (src/core/engine.cpp, src/core/model_cache.cpp):
-                       every online frame must be served by the degradation
-                       ladder, never aborted. Contract violations go through
-                       the ANOLE_CHECK macros (util/check.hpp), which keep
-                       precondition errors out of the steady-state path.
-  no-reinterpret-cast  reinterpret_cast is banned outside the two sanctioned
-                       homes for raw weight-byte access: the pod stream
-                       helpers (src/nn/serialize.hpp) and the SIMD kernel
-                       (src/tensor/qgemm.cpp). Everything else must go
-                       through those helpers so weight bytes have exactly
-                       one (de)serialization path to audit.
-  no-wallclock         std::chrono::*_clock::now() is banned under src/:
-                       runtime decisions (governor transitions, cache
-                       clocks, fault schedules) must run on logical frame
-                       counters so traces replay bitwise across runs and
-                       thread counts. Benches and tests may time things.
+Usage:
+    anole_lint.py [repo-root] [--rules=id,id] [--list-rules]
+                  [--update-baseline] [--coverage-report]
 
-Usage: anole_lint.py [repo-root]   (exits non-zero on any finding)
+Exits non-zero on any finding (or on a contract-coverage ratchet
+regression). Finding format is unchanged from the original regex
+linter: `file:line: rule-id: message`.
 """
 
-from __future__ import annotations
-
-import re
 import sys
 from pathlib import Path
 
-SCAN_DIRS = ("src", "tests", "bench", "examples")
-CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-RE_C_PRNG = re.compile(r"(?<![\w:.])s?rand\s*\(")
-RE_NAKED_NEW = re.compile(r"\bnew\b")
-RE_NAKED_DELETE = re.compile(r"\bdelete\b(?:\s*\[\s*\])?")
-RE_DELETED_FN = re.compile(r"=\s*delete\b")
-RE_USING_NAMESPACE = re.compile(r"\busing\s+namespace\b")
-RE_COUT = re.compile(r"\bstd\s*::\s*cout\b")
-RE_RAW_THREAD = re.compile(r"\bstd\s*::\s*(?:thread|jthread|async)\b")
-RE_THROW = re.compile(r"\bthrow\b")
-RE_REINTERPRET_CAST = re.compile(r"\breinterpret_cast\b")
-RE_WALLCLOCK = re.compile(
-    r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\b")
-RE_INCLUDE = re.compile(r'^\s*#\s*include\s+["<]([^">]+)[">]')
-
-# The per-frame OMI hot path: a fault here must degrade, never abort.
-NO_THROW_FILES = {"src/core/engine.cpp", "src/core/model_cache.cpp"}
-
-# The only files allowed to reinterpret_cast raw weight/SIMD bytes.
-REINTERPRET_CAST_FILES = {"src/nn/serialize.hpp", "src/tensor/qgemm.cpp"}
-
-
-def strip_comments_and_strings(line: str, in_block_comment: bool):
-    """Blanks out comments and string/char literals, preserving length.
-
-    Returns (cleaned_line, still_in_block_comment). A line-based scanner is
-    enough here: the repo has no raw strings or multi-line literals.
-    """
-    out = []
-    i = 0
-    n = len(line)
-    in_string = None  # quote char when inside a literal
-    while i < n:
-        ch = line[i]
-        nxt = line[i + 1] if i + 1 < n else ""
-        if in_block_comment:
-            if ch == "*" and nxt == "/":
-                in_block_comment = False
-                out.append("  ")
-                i += 2
-            else:
-                out.append(" ")
-                i += 1
-        elif in_string:
-            if ch == "\\":
-                out.append("  ")
-                i += 2
-            elif ch == in_string:
-                in_string = None
-                out.append(ch)
-                i += 1
-            else:
-                out.append(" ")
-                i += 1
-        elif ch == "/" and nxt == "/":
-            break  # rest of line is a comment
-        elif ch == "/" and nxt == "*":
-            in_block_comment = True
-            out.append("  ")
-            i += 2
-        elif ch in "\"'":
-            in_string = ch
-            out.append(ch)
-            i += 1
-        else:
-            out.append(ch)
-            i += 1
-    return "".join(out), in_block_comment
-
-
-def iter_code_lines(path: Path):
-    """Yields (line_number, raw_line, cleaned_line); cleaned has comments
-    and string/char literal contents blanked out."""
-    in_block = False
-    text = path.read_text(encoding="utf-8", errors="replace")
-    for number, line in enumerate(text.splitlines(), start=1):
-        cleaned, in_block = strip_comments_and_strings(line, in_block)
-        yield number, line, cleaned
-
-
-def lint_file(path: Path, rel: Path):
-    findings = []
-    rel_str = rel.as_posix()
-    is_header = path.suffix in {".hpp", ".h"}
-    in_tensor = rel_str.startswith("src/tensor/")
-    cout_allowed = rel_str.startswith(("examples/", "bench/"))
-    raw_thread_allowed = rel_str.startswith("src/util/parallel.")
-
-    includes = []  # (line_number, include path) in order
-    for number, raw, line in iter_code_lines(path):
-        include = RE_INCLUDE.match(raw)
-        if include:
-            includes.append((number, include.group(1)))
-
-        if RE_C_PRNG.search(line):
-            findings.append((number, "no-c-prng",
-                             "rand()/srand() banned; use anole::Rng"))
-        if not in_tensor:
-            if RE_NAKED_NEW.search(line):
-                findings.append((number, "no-naked-new",
-                                 "naked new banned; use std::make_unique"))
-            stripped_deleted = RE_DELETED_FN.sub("", line)
-            if RE_NAKED_DELETE.search(stripped_deleted):
-                findings.append((number, "no-naked-new",
-                                 "naked delete banned; use RAII owners"))
-        if is_header and RE_USING_NAMESPACE.search(line):
-            findings.append((number, "no-using-namespace",
-                             "`using namespace` banned in headers"))
-        if not cout_allowed and RE_COUT.search(line):
-            findings.append((number, "no-cout",
-                             "std::cout banned here; use util/log.hpp"))
-        if not raw_thread_allowed and RE_RAW_THREAD.search(line):
-            findings.append((number, "no-raw-thread",
-                             "raw std::thread/std::async banned; use the "
-                             "deterministic pool in util/parallel.hpp"))
-        if rel_str in NO_THROW_FILES and RE_THROW.search(line):
-            findings.append((number, "no-throw-omi-hot-path",
-                             "literal throw banned in the OMI hot path; "
-                             "degrade via the ladder or use ANOLE_CHECK"))
-        if (rel_str not in REINTERPRET_CAST_FILES
-                and RE_REINTERPRET_CAST.search(line)):
-            findings.append((number, "no-reinterpret-cast",
-                             "reinterpret_cast banned here; route raw byte "
-                             "access through nn/serialize.hpp pod helpers"))
-        if rel_str.startswith("src/") and RE_WALLCLOCK.search(line):
-            findings.append((number, "no-wallclock",
-                             "wall-clock now() banned under src/; use "
-                             "logical frame counters so decisions replay"))
-
-    if path.suffix == ".cpp" and rel_str.startswith("src/"):
-        own_header = path.with_suffix(".hpp")
-        if own_header.exists():
-            expected = rel.with_suffix(".hpp").relative_to("src").as_posix()
-            if not includes:
-                findings.append((1, "own-header-first",
-                                 f'first include must be "{expected}"'))
-            elif includes[0][1] != expected:
-                findings.append((includes[0][0], "own-header-first",
-                                 f'first include must be "{expected}", '
-                                 f'got "{includes[0][1]}"'))
-
-    return findings
-
-
-def main(argv):
-    root = Path(argv[1]).resolve() if len(argv) > 1 else Path.cwd()
-    files = []
-    for scan_dir in SCAN_DIRS:
-        base = root / scan_dir
-        if not base.is_dir():
-            continue
-        files.extend(
-            p for p in sorted(base.rglob("*"))
-            if p.is_file() and p.suffix in CPP_SUFFIXES
-        )
-    if not files:
-        print(f"anole_lint: no C++ sources found under {root}", file=sys.stderr)
-        return 2
-
-    total = 0
-    for path in files:
-        rel = path.relative_to(root)
-        for number, rule, message in lint_file(path, rel):
-            print(f"{rel.as_posix()}:{number}: {rule}: {message}")
-            total += 1
-
-    if total:
-        print(f"anole_lint: {total} finding(s) in {len(files)} files",
-              file=sys.stderr)
-        return 1
-    print(f"anole_lint: OK ({len(files)} files clean)")
-    return 0
-
+from anole_analyze.driver import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    sys.exit(main(sys.argv[1:]))

@@ -1,10 +1,20 @@
 #!/usr/bin/env bash
-# Full correctness gate: lint, Release build + tests, ASan+UBSan build +
-# tests, TSan build + tests, a fault-matrix pass (tier-1 tests under a
-# canned ANOLE_FAULTS schedule on the sanitizer build), a quantized pass
-# (tier-1 tests with ANOLE_QUANT=1 on the sanitizer build), and a 10k-frame
-# governor soak under overload faults on the sanitizer build. Non-zero
-# exit on the first failure. Run from anywhere.
+# Full correctness gate, eight named stages:
+#
+#   lint     repo lint (token analyzer) + analyzer self-test
+#   release  Release build + tests (warnings are errors)
+#   asan     ASan+UBSan Debug build + tests
+#   tsan     TSan build + tests (thread pool race check)
+#   faults   tier-1 tests under a canned ANOLE_FAULTS schedule (ASan)
+#   quant    tier-1 tests with ANOLE_QUANT=1 (ASan)
+#   soak     10k-frame governor soak under overload faults (ASan)
+#   tidy     static-analysis gate: analyzer + ratchet + clang-tidy
+#
+# Non-zero exit on the first failure; a per-stage timing summary prints at
+# the end either way. Run from anywhere.
+#
+# Subset runs: ANOLE_CHECK_STAGES=lint,tidy scripts/check.sh
+# runs only the named stages (comma-separated, order fixed as above).
 set -euo pipefail
 
 repo_root="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -12,50 +22,121 @@ cd "$repo_root"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/7] repo lint"
-python3 scripts/anole_lint.py .
+stage_names=()
+stage_secs=()
+stage_results=()
 
-echo "==> [2/7] Release build + tests (warnings are errors)"
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DANOLE_WERROR=ON
-cmake --build build -j "$jobs"
-ctest --test-dir build --output-on-failure -j "$jobs"
+report() {
+  echo
+  echo "check.sh stage timings:"
+  local i
+  for i in "${!stage_names[@]}"; do
+    printf '  %-8s %6ss  %s\n' \
+      "${stage_names[$i]}" "${stage_secs[$i]}" "${stage_results[$i]}"
+  done
+}
+trap report EXIT
 
-echo "==> [3/7] ASan+UBSan Debug build + tests"
-cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
-  "-DANOLE_SANITIZE=address;undefined" -DANOLE_WERROR=ON
-cmake --build build-asan -j "$jobs"
-ctest --test-dir build-asan --output-on-failure -j "$jobs"
+stage_enabled() {
+  [[ -z "${ANOLE_CHECK_STAGES:-}" ]] && return 0
+  [[ ",${ANOLE_CHECK_STAGES}," == *",$1,"* ]]
+}
 
-echo "==> [4/7] TSan build + tests (thread pool race check)"
-cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DANOLE_SANITIZE=thread -DANOLE_WERROR=ON
-cmake --build build-tsan -j "$jobs"
-# ANOLE_THREADS=4 so the pool actually runs multi-threaded even on
-# single-core CI hosts: TSan has races to look at either way.
-ANOLE_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+run_stage() {
+  local name="$1" desc="$2" fn="$3"
+  if ! stage_enabled "$name"; then
+    return 0
+  fi
+  echo "==> [$name] $desc"
+  local start=$SECONDS
+  stage_names+=("$name")
+  if "$fn"; then
+    stage_secs+=("$((SECONDS - start))")
+    stage_results+=("ok")
+  else
+    stage_secs+=("$((SECONDS - start))")
+    stage_results+=("FAIL")
+    echo "check.sh: stage '$name' failed" >&2
+    exit 1
+  fi
+}
 
-echo "==> [5/7] fault matrix: tier-1 tests under injected faults (ASan)"
-# Every AnoleEngine built without an explicit injector picks this schedule
-# up from the environment (each engine re-seeds its own streams, so test
-# order cannot perturb outcomes). The suite must stay green while the
-# degradation ladder absorbs ~1% failures at every site; ASan watches the
-# recovery paths for memory errors.
-ANOLE_FAULTS="seed=1337,model_load=0.01,artifact_section=0.01,decision_output=0.01,frame_payload=0.005,load_latency_spike=0.02x25,memory_pressure=0.01x2" \
+stage_lint() {
+  python3 scripts/anole_lint.py . &&
+  python3 scripts/test_anole_analyze.py
+}
+
+stage_release() {
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DANOLE_WERROR=ON &&
+  cmake --build build -j "$jobs" &&
+  ctest --test-dir build --output-on-failure -j "$jobs"
+}
+
+stage_asan() {
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug \
+    "-DANOLE_SANITIZE=address;undefined" -DANOLE_WERROR=ON &&
+  cmake --build build-asan -j "$jobs" &&
   ctest --test-dir build-asan --output-on-failure -j "$jobs"
+}
 
-echo "==> [6/7] quantized execution: tier-1 tests with ANOLE_QUANT=1 (ASan)"
-# Forces the int8 fast path on explicitly (it is also the default) so the
-# quantized kernels, the artifact v3 sections, and the engine's precision
-# accounting run under ASan+UBSan even if a future change flips the
-# default off.
-ANOLE_QUANT=1 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+stage_tsan() {
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DANOLE_SANITIZE=thread -DANOLE_WERROR=ON &&
+  cmake --build build-tsan -j "$jobs" &&
+  # ANOLE_THREADS=4 so the pool actually runs multi-threaded even on
+  # single-core CI hosts: TSan has races to look at either way.
+  ANOLE_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$jobs"
+}
 
-echo "==> [7/7] governor soak: 10k frames under overload faults (ASan)"
-# A long closed-loop session through the runtime governor with I/O latency
-# spikes and memory-pressure budget shrinks. The test asserts every frame
-# is served by a valid model, frame accounting balances, and the dropped-
-# frame rate stays bounded; ASan+UBSan watch the shed/suppress/evict paths.
-ANOLE_SOAK_FRAMES=10000 \
-  ctest --test-dir build-asan --output-on-failure -R 'GovernorSoak'
+stage_faults() {
+  # Every AnoleEngine built without an explicit injector picks this schedule
+  # up from the environment (each engine re-seeds its own streams, so test
+  # order cannot perturb outcomes). The suite must stay green while the
+  # degradation ladder absorbs ~1% failures at every site; ASan watches the
+  # recovery paths for memory errors.
+  ANOLE_FAULTS="seed=1337,model_load=0.01,artifact_section=0.01,decision_output=0.01,frame_payload=0.005,load_latency_spike=0.02x25,memory_pressure=0.01x2" \
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+}
+
+stage_quant() {
+  # Forces the int8 fast path on explicitly (it is also the default) so the
+  # quantized kernels, the artifact v3 sections, and the engine's precision
+  # accounting run under ASan+UBSan even if a future change flips the
+  # default off.
+  ANOLE_QUANT=1 ctest --test-dir build-asan --output-on-failure -j "$jobs"
+}
+
+stage_soak() {
+  # A long closed-loop session through the runtime governor with I/O latency
+  # spikes and memory-pressure budget shrinks. The test asserts every frame
+  # is served by a valid model, frame accounting balances, and the dropped-
+  # frame rate stays bounded; ASan+UBSan watch the shed/suppress/evict paths.
+  ANOLE_SOAK_FRAMES=10000 \
+    ctest --test-dir build-asan --output-on-failure -R 'GovernorSoak'
+}
+
+stage_tidy() {
+  # The full static gate: analyzer (including the contract-coverage ratchet
+  # against scripts/lint_baseline.json -- regressions fail here) plus the
+  # clang-tidy sweep. clang-tidy exits 77 where the binary is unavailable;
+  # that is an explicit skip, not a pass.
+  python3 scripts/anole_lint.py . || return 1
+  local rc=0
+  python3 scripts/run_clang_tidy.py --build-dir build || rc=$?
+  if [[ $rc -eq 77 ]]; then
+    echo "    (clang-tidy unavailable: stage counted as skip)"
+    return 0
+  fi
+  return "$rc"
+}
+
+run_stage lint    "repo lint + analyzer self-test"                 stage_lint
+run_stage release "Release build + tests (warnings are errors)"    stage_release
+run_stage asan    "ASan+UBSan Debug build + tests"                 stage_asan
+run_stage tsan    "TSan build + tests (thread pool race check)"    stage_tsan
+run_stage faults  "tier-1 tests under injected faults (ASan)"      stage_faults
+run_stage quant   "tier-1 tests with ANOLE_QUANT=1 (ASan)"         stage_quant
+run_stage soak    "governor soak: 10k frames under faults (ASan)"  stage_soak
+run_stage tidy    "static gate: analyzer ratchet + clang-tidy"     stage_tidy
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the Anole sources using the build tree's
+compile_commands.json.
+
+Exit codes:
+  0   every file clean
+  1   clang-tidy reported findings (WarningsAsErrors makes them fatal)
+  2   usage / environment error (no compile database)
+  77  clang-tidy binary not available -- callers treat this as SKIP
+      (ctest wires SKIP_RETURN_CODE 77; check.sh prints "skip").
+
+The container used for CI does not ship clang-tidy, so the skip path is
+first-class rather than an afterthought: the gate is enforced wherever
+the tool exists and degrades to an explicit, visible skip elsewhere.
+
+Usage:
+  python3 scripts/run_clang_tidy.py [--build-dir build] [--jobs N] [files...]
+
+With no file arguments, tidies every .cpp under src/. Set
+ANOLE_CLANG_TIDY to force a specific binary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Newest first; plain "clang-tidy" last so an explicit versioned install wins.
+_CANDIDATES = (
+    "clang-tidy-19", "clang-tidy-18", "clang-tidy-17", "clang-tidy-16",
+    "clang-tidy-15", "clang-tidy-14", "clang-tidy",
+)
+
+
+def find_clang_tidy() -> str | None:
+    override = os.environ.get("ANOLE_CLANG_TIDY")
+    if override:
+        return override if shutil.which(override) else None
+    for name in _CANDIDATES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def tidy_targets(build_dir: Path, explicit: list[str]) -> list[Path]:
+    if explicit:
+        return [Path(f).resolve() for f in explicit]
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        return []
+    db = json.loads(db_path.read_text(encoding="utf-8"))
+    files = set()
+    for entry in db:
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = (Path(entry["directory"]) / path).resolve()
+        try:
+            rel = path.relative_to(REPO_ROOT)
+        except ValueError:
+            continue
+        if rel.parts[:1] == ("src",) and path.suffix == ".cpp":
+            files.add(path)
+    return sorted(files)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*",
+                        help="specific files (default: all src/ .cpp)")
+    parser.add_argument("--build-dir", default=str(REPO_ROOT / "build"))
+    parser.add_argument("--jobs", type=int,
+                        default=min(8, os.cpu_count() or 1))
+    parser.add_argument("--skip-ok", action="store_true",
+                        help="exit 0 instead of 77 when clang-tidy is "
+                             "missing (for the `tidy` build target)")
+    args = parser.parse_args(argv)
+
+    binary = find_clang_tidy()
+    if binary is None:
+        print("run_clang_tidy: SKIP -- no clang-tidy binary found "
+              "(set ANOLE_CLANG_TIDY or install clang-tidy)")
+        return 0 if args.skip_ok else 77
+
+    build_dir = Path(args.build_dir).resolve()
+    if not (build_dir / "compile_commands.json").is_file():
+        print(f"run_clang_tidy: error: {build_dir}/compile_commands.json "
+              "not found -- configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON "
+              "(the root CMakeLists.txt already sets it)", file=sys.stderr)
+        return 2
+
+    targets = tidy_targets(build_dir, args.files)
+    if not targets:
+        print("run_clang_tidy: error: no source files matched",
+              file=sys.stderr)
+        return 2
+
+    print(f"run_clang_tidy: {binary} over {len(targets)} files "
+          f"(-j{args.jobs})")
+
+    failures: list[str] = []
+
+    def run_one(path: Path) -> None:
+        proc = subprocess.run(
+            [binary, "-p", str(build_dir), "--quiet", str(path)],
+            capture_output=True, text=True)
+        if proc.returncode != 0:
+            failures.append(path.name)
+            rel = path.relative_to(REPO_ROOT)
+            sys.stdout.write(f"--- {rel} ---\n{proc.stdout}{proc.stderr}")
+
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        list(pool.map(run_one, targets))
+
+    if failures:
+        print(f"run_clang_tidy: FAIL ({len(failures)} files): "
+              + ", ".join(sorted(failures)))
+        return 1
+    print(f"run_clang_tidy: OK ({len(targets)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

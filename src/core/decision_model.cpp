@@ -136,8 +136,10 @@ std::vector<std::size_t> DecisionModel::rank(const Tensor& descriptor_row) {
   std::vector<std::size_t> order(model_count_);
   std::iota(order.begin(), order.end(), std::size_t{0});
   auto row = probs.row(0);
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return row[a] > row[b]; });
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (row[a] != row[b]) return row[a] > row[b];
+    return a < b;  // deterministic tie-break
+  });
   return order;
 }
 

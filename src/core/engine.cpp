@@ -105,7 +105,7 @@ AnoleEngine::AnoleEngine(AnoleSystem& system, const EngineConfig& config)
   }
 
   governor_ =
-      device::governor_enabled_from_env() ? config.governor : nullptr;
+      core::governor_enabled_from_env() ? config.governor : nullptr;
 }
 
 AnoleEngine::AnoleEngine(AnoleSystem& system, const CacheConfig& cache_config)
@@ -144,7 +144,7 @@ EngineResult AnoleEngine::process_with_suitability(
 
   // Overload governor (DESIGN.md §11): one plan() per frame decides
   // drop / swap suppression / ranking reuse before any stateful work.
-  device::GovernorDirective directive;
+  core::GovernorDirective directive;
   if (governor_ != nullptr) directive = governor_->plan();
   result.governor_state = directive.state;
 
@@ -252,7 +252,10 @@ std::vector<std::size_t> AnoleEngine::rank_suitability(
   std::vector<std::size_t> ranking(n);
   std::iota(ranking.begin(), ranking.end(), std::size_t{0});
   std::sort(ranking.begin(), ranking.end(), [&](std::size_t a, std::size_t b) {
-    return smoothed_suitability_[a] > smoothed_suitability_[b];
+    if (smoothed_suitability_[a] != smoothed_suitability_[b]) {
+      return smoothed_suitability_[a] > smoothed_suitability_[b];
+    }
+    return a < b;  // deterministic tie-break
   });
   result.top1_model = ranking[0];
   result.top1_confidence = smoothed_suitability_[ranking[0]];

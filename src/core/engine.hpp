@@ -19,9 +19,9 @@
 #include <vector>
 
 #include "core/decision_model.hpp"
+#include "core/governor.hpp"
 #include "core/model_cache.hpp"
 #include "core/repository.hpp"
-#include "device/governor.hpp"
 #include "util/fault.hpp"
 
 namespace anole::core {
@@ -61,7 +61,7 @@ struct EngineConfig {
   /// (the default) means ungoverned; the pointer is also ignored when
   /// ANOLE_GOVERNOR=0, reproducing ungoverned behavior exactly. Not
   /// owned; must outlive the engine.
-  device::RuntimeGovernor* governor = nullptr;
+  core::RuntimeGovernor* governor = nullptr;
 };
 
 /// Everything that happened while processing one frame.
@@ -113,7 +113,7 @@ struct EngineResult {
   bool ranking_reused = false;
   /// Governor state this frame was planned under (kNormal when
   /// ungoverned).
-  device::GovernorState governor_state = device::GovernorState::kNormal;
+  core::GovernorState governor_state = core::GovernorState::kNormal;
   Health health;
 };
 
@@ -178,7 +178,7 @@ class AnoleEngine {
   }
   /// The governor in effect; null when ungoverned (none configured or
   /// ANOLE_GOVERNOR=0).
-  device::RuntimeGovernor* governor() const { return governor_; }
+  core::RuntimeGovernor* governor() const { return governor_; }
   /// True when the M_decision head currently carries int8 layers.
   bool decision_quantized() const;
   /// True when detector `model` currently carries int8 layers.
@@ -217,7 +217,7 @@ class AnoleEngine {
   std::size_t quantized_frames_ = 0;
   std::optional<std::size_t> last_served_;
   /// --- governor state ---
-  device::RuntimeGovernor* governor_ = nullptr;
+  core::RuntimeGovernor* governor_ = nullptr;
   std::size_t dropped_frames_ = 0;
   std::size_t swap_suppressed_frames_ = 0;
   std::size_t reused_ranking_frames_ = 0;

@@ -1,11 +1,11 @@
-#include "device/governor.hpp"
+#include "core/governor.hpp"
 
 #include <cstdlib>
 #include <string_view>
 
 #include "util/check.hpp"
 
-namespace anole::device {
+namespace anole::core {
 
 const char* to_string(GovernorState state) {
   switch (state) {
@@ -157,4 +157,4 @@ void RuntimeGovernor::reset() {
   trace_.clear();
 }
 
-}  // namespace anole::device
+}  // namespace anole::core

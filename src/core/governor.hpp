@@ -30,7 +30,7 @@
 #include <cstdint>
 #include <vector>
 
-namespace anole::device {
+namespace anole::core {
 
 enum class GovernorState : std::uint8_t {
   kNormal = 0,
@@ -150,4 +150,4 @@ class RuntimeGovernor {
   std::vector<GovernorEvent> trace_;
 };
 
-}  // namespace anole::device
+}  // namespace anole::core

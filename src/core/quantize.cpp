@@ -33,7 +33,7 @@ Tensor probe_inputs(std::size_t count, std::size_t width,
 }
 
 double mean_abs_delta(const Tensor& a, const Tensor& b) {
-  if (a.size() == 0) return 0.0;
+  if (a.empty()) return 0.0;
   double sum = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     sum += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));

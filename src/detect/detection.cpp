@@ -1,6 +1,7 @@
 #include "detect/detection.hpp"
 
 #include <algorithm>
+#include <numeric>
 
 #include "util/check.hpp"
 
@@ -39,13 +40,20 @@ std::vector<Detection> non_maximum_suppression(std::vector<Detection> dets,
               threshold);
   ANOLE_CHECK_GE(min_center_distance, 0.0,
                  "non_maximum_suppression: negative center distance");
-  std::sort(dets.begin(), dets.end(),
-            [](const Detection& a, const Detection& b) {
-              return a.confidence > b.confidence;
-            });
+  // Index sort with the repo's tie-break idiom: equal confidences keep
+  // their arrival order no matter how the sort implementation pivots.
+  std::vector<std::size_t> order(dets.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (dets[a].confidence != dets[b].confidence) {
+      return dets[a].confidence > dets[b].confidence;
+    }
+    return a < b;  // deterministic tie-break
+  });
   const double min_dist_sq = min_center_distance * min_center_distance;
   std::vector<Detection> kept;
-  for (const auto& candidate : dets) {
+  for (const std::size_t idx : order) {
+    const Detection& candidate = dets[idx];
     bool suppressed = false;
     for (const auto& keeper : kept) {
       const double dx = candidate.cx - keeper.cx;
@@ -95,9 +103,12 @@ MatchCounts match_detections(const std::vector<Detection>& detections,
               "match_detections: iou_threshold must be in (0, 1], got ",
               iou_threshold);
   std::vector<std::size_t> order(detections.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return detections[a].confidence > detections[b].confidence;
+    if (detections[a].confidence != detections[b].confidence) {
+      return detections[a].confidence > detections[b].confidence;
+    }
+    return a < b;  // deterministic tie-break
   });
 
   std::vector<bool> truth_matched(truth.size(), false);

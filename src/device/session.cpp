@@ -10,10 +10,10 @@ namespace anole::device {
 DeviceSession::DeviceSession(const DeviceProfile& profile,
                              double throughput_scale,
                              fault::FaultInjector* faults,
-                             RuntimeGovernor* governor)
+                             core::RuntimeGovernor* governor)
     : profile_(profile), throughput_scale_(throughput_scale),
       faults_(faults),
-      governor_(governor_enabled_from_env() ? governor : nullptr) {}
+      governor_(core::governor_enabled_from_env() ? governor : nullptr) {}
 
 double DeviceSession::process(const FrameCost& cost) {
   double latency = 0.0;

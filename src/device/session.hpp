@@ -16,7 +16,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "device/governor.hpp"
+#include "core/governor.hpp"
 #include "device/profile.hpp"
 #include "util/fault.hpp"
 
@@ -47,11 +47,11 @@ class DeviceSession {
   /// spikes into frames that stream weights; it must outlive the session.
   /// `governor` (optional) receives one observe() per processed frame so
   /// it can react to overload; it must outlive the session. The pointer
-  /// is ignored when `governor_enabled_from_env()` is false, so
+  /// is ignored when `core::governor_enabled_from_env()` is false, so
   /// ANOLE_GOVERNOR=0 reproduces the ungoverned timeline exactly.
   DeviceSession(const DeviceProfile& profile, double throughput_scale = 1.0,
                 fault::FaultInjector* faults = nullptr,
-                RuntimeGovernor* governor = nullptr);
+                core::RuntimeGovernor* governor = nullptr);
 
   /// Charges one frame and returns its end-to-end latency in ms.
   double process(const FrameCost& cost);
@@ -92,7 +92,7 @@ class DeviceSession {
   const DeviceProfile profile_;
   double throughput_scale_;
   fault::FaultInjector* faults_;
-  RuntimeGovernor* governor_;
+  core::RuntimeGovernor* governor_;
   bool framework_initialized_ = false;
   std::vector<double> latencies_;
   /// Per-frame deadline-overrun flags, parallel to latencies_.

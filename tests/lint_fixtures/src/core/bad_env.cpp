@@ -1,0 +1,18 @@
+// env-var-registry: every getenv("ANOLE_*") must have a README row.
+#include <cstdlib>
+
+namespace anole::core {
+
+bool documented_knob() {
+  return std::getenv("ANOLE_DOCUMENTED") != nullptr;  // ok: in the table
+}
+
+bool rogue_knob() {
+  return std::getenv("ANOLE_ROGUE") != nullptr;  // FIXTURE: fires
+}
+
+bool non_anole_vars_ignored() {
+  return std::getenv("HOME") != nullptr;  // no finding: not ANOLE_*
+}
+
+}  // namespace anole::core

@@ -1,0 +1,12 @@
+// no-using-namespace: banned in headers (leaks into every includer).
+#pragma once
+
+#include <vector>
+
+using namespace std;  // FIXTURE: fires
+
+namespace anole::core {
+
+inline int header_helper() { return 1; }
+
+}  // namespace anole::core

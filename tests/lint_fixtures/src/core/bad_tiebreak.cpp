@@ -1,0 +1,40 @@
+// no-unstable-tiebreak: projected-key comparators must tie-break.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace anole::core {
+
+struct Scored {
+  double score = 0.0;
+};
+
+void unstable_member_sort(std::vector<Scored>& items) {
+  std::sort(items.begin(), items.end(),  // FIXTURE: fires
+            [](const Scored& a, const Scored& b) {
+              return a.score > b.score;
+            });
+}
+
+void unstable_subscript_sort(std::vector<std::size_t>& order,
+                             const std::vector<float>& key) {
+  std::sort(order.begin(), order.end(),  // FIXTURE: fires
+            [&](std::size_t a, std::size_t b) { return key[a] > key[b]; });
+}
+
+void stable_two_stage_sort(std::vector<std::size_t>& order,
+                           const std::vector<float>& key) {
+  // The documented idiom: no finding.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (key[a] != key[b]) return key[a] > key[b];
+    return a < b;  // deterministic tie-break
+  });
+}
+
+void bare_value_sort(std::vector<double>& values) {
+  // Comparing the elements themselves is a total order: no finding.
+  std::sort(values.begin(), values.end(),
+            [](double a, double b) { return a > b; });
+}
+
+}  // namespace anole::core

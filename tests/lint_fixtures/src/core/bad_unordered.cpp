@@ -1,0 +1,31 @@
+// no-unordered-iteration: iteration fires, point lookups do not.
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace anole::core {
+
+std::size_t iterate_map(const std::unordered_map<int, int>& scores) {
+  std::size_t total = 0;
+  for (const auto& entry : scores) {  // FIXTURE: range-for fires
+    total += static_cast<std::size_t>(entry.second);
+  }
+  return total;
+}
+
+std::size_t iterate_set(std::unordered_set<int>& pool) {
+  std::size_t hits = 0;
+  for (auto it = pool.begin(); it != pool.end(); ++it) {  // fires
+    ++hits;
+  }
+  return hits;
+}
+
+bool point_lookups_are_fine(const std::unordered_map<int, int>& scores,
+                            std::unordered_set<int>& pool) {
+  // find/count/contains never observe bucket order: no findings here.
+  return scores.find(3) != scores.end() && scores.count(4) > 0 &&
+         pool.contains(5);
+}
+
+}  // namespace anole::core

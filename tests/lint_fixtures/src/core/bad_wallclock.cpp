@@ -1,0 +1,35 @@
+// no-wallclock: every wall-clock spelling is banned under src/, not
+// just the *_clock::now() forms the old regex caught.
+#include <chrono>
+#include <ctime>
+
+namespace anole::core {
+
+struct Stopwatch {
+  double time(int scale) const { return 0.5 * scale; }  // member: ok
+};
+
+long legacy_time_call() {
+  return ::time(nullptr);  // FIXTURE: fires
+}
+
+long libc_clock_gettime() {
+  struct timespec ts;
+  clock_gettime(0, &ts);  // FIXTURE: fires
+  return ts.tv_sec;
+}
+
+double clock_type_alias() {
+  using clock = std::chrono::steady_clock;  // FIXTURE: fires
+  return 0.0;
+}
+
+std::chrono::system_clock::time_point member_alias() {  // fires
+  return {};
+}
+
+double member_time_is_fine(const Stopwatch& watch) {
+  return watch.time(3);  // no finding: member function
+}
+
+}  // namespace anole::core

@@ -1,0 +1,32 @@
+// Lexer gap regression: line-continuation backslashes. A // comment
+// ending in a backslash swallows the next physical line (translation
+// phase 2), so code "hidden" there must not fire; code after the
+// comment resumes normal scanning with correct line numbers.
+
+namespace anole::core {
+
+int spliced_comment() {
+  // this comment continues onto the next line \
+     int* hidden = new int(1); delete hidden;
+  return 0;  // no findings above: both lines are one comment
+}
+
+#define FIXTURE_MACRO(x) \
+  do {                   \
+    (void)(x);           \
+  } while (false)
+
+int spliced_identifier() {
+  // An identifier split by a continuation lexes as one token: "de" +
+  // "lete" must not produce a `delete` keyword... but a real delete
+  // after the splice region must fire at its own line.
+  int dele\
+te_me = 3;
+  FIXTURE_MACRO(dele\
+te_me);
+  int* p = nullptr;
+  delete p;  // FIXTURE: no-naked-new (delete) fires
+  return 0;
+}
+
+}  // namespace anole::core

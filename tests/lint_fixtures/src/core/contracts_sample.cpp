@@ -1,0 +1,67 @@
+// contract-coverage fixture: exactly two covered and two uncovered
+// public functions (plus definitions the scanner must exclude).
+#include <cstddef>
+
+#define ANOLE_CHECK(cond, ...) ((void)(cond))
+#define ANOLE_CHECK_GE(a, b, ...) ((void)((a) >= (b)))
+
+namespace anole::core {
+
+namespace {
+int anon_helper(int x) { return x; }  // excluded: anonymous namespace
+}  // namespace
+
+static int static_helper(int x) { return x; }  // excluded: static
+
+class Widget {
+ public:
+  Widget(std::size_t capacity);
+  std::size_t covered_method(std::size_t index) const;
+  std::size_t uncovered_method() const;
+
+ private:
+  std::size_t capacity_ = 0;
+};
+
+Widget::Widget(std::size_t capacity) : capacity_(capacity) {
+  ANOLE_CHECK_GE(capacity, 1u, "fixture");  // covered (ctor, init list)
+}
+
+std::size_t Widget::covered_method(std::size_t index) const {
+  ANOLE_CHECK(index < capacity_, "fixture");
+  return index;
+}
+
+std::size_t Widget::uncovered_method() const {
+  return capacity_ + anon_helper(0) +
+         static_cast<std::size_t>(static_helper(0));
+}
+
+int covered_free_function(int value) {
+  ANOLE_CHECK(value >= 0, "fixture");
+  return value * 2;
+}
+
+int uncovered_free_function(int value) {
+  int total = 0;
+  for (int i = 0; i < value; ++i) total += i;
+  return total;
+}
+
+int late_check_is_not_prologue(int value) {
+  int a = value + 1;
+  int b = a * 2;
+  int c = b - 3;
+  int d = c * c;
+  int e = d + a;
+  int f = e - b;
+  int g = f + c;
+  int h = g * 2;
+  int k = h - d;
+  ANOLE_CHECK(k != 0, "fixture");  // after 9 statements: NOT covered
+  return k;
+}
+
+}  // namespace anole::core
+
+int main() { return 0; }  // excluded: main

@@ -1,0 +1,11 @@
+// File-level include cycle (a -> b -> a): both files share one module,
+// so only the file-cycle pass can see it.
+#pragma once
+
+#include "core/cycle_b.hpp"  // FIXTURE: layering-dag cycle
+
+namespace anole::core {
+
+inline int cycle_a() { return 1; }
+
+}  // namespace anole::core

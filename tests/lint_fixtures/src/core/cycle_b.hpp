@@ -1,0 +1,9 @@
+#pragma once
+
+#include "core/cycle_a.hpp"
+
+namespace anole::core {
+
+inline int cycle_b() { return 2; }
+
+}  // namespace anole::core

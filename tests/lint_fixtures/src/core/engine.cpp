@@ -1,0 +1,11 @@
+// no-throw-omi-hot-path: this path matches the protected file list.
+namespace anole::core {
+
+int hot_path_abort(int frame) {
+  if (frame < 0) {
+    throw frame;  // FIXTURE: fires
+  }
+  return frame;
+}
+
+}  // namespace anole::core

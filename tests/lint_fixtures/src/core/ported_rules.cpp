@@ -1,0 +1,46 @@
+// One compact file exercising the ported token rules.
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <thread>
+
+namespace anole::core {
+
+int c_prng() {
+  std::srand(7);                          // FIXTURE: no-c-prng
+  return std::rand();                     // FIXTURE: no-c-prng
+}
+
+struct WithRand;  // declared elsewhere; has a member spelled rand()
+
+int member_rand_ok(const WithRand& source) {
+  return source.rand();  // no finding: member function
+}
+
+void logging() {
+  std::cout << "hi\n";                    // FIXTURE: no-cout
+}
+
+void threads() {
+  std::thread worker([] {});              // FIXTURE: no-raw-thread
+  worker.join();
+  auto f = std::async([] { return 1; });  // FIXTURE: no-raw-thread
+  (void)f;
+}
+
+int casts(const unsigned char* bytes) {
+  // FIXTURE: no-reinterpret-cast
+  return *reinterpret_cast<const int*>(bytes);
+}
+
+int allocation() {
+  int* p = new int(3);                    // FIXTURE: no-naked-new
+  delete p;                               // FIXTURE: no-naked-new
+  return 0;
+}
+
+struct NotCopyable {
+  NotCopyable(const NotCopyable&) = delete;  // no finding: deleted fn
+};
+
+}  // namespace anole::core

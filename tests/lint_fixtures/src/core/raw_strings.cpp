@@ -1,0 +1,28 @@
+// Lexer gap regression: raw string literals. The old line scanner
+// documented these as unsupported; banned spellings inside them must
+// never fire, while real code after them still must.
+#include <string>
+
+namespace anole::core {
+
+std::string raw_literal_contents_are_opaque() {
+  // Everything inside is literal text, not code: no findings from it.
+  return R"(std::cout << new int; throw rand(); /* " unbalanced)";
+}
+
+std::string delimited_raw_with_quotes() {
+  return R"delim(quote " close-paren )" still inside; std::thread t;)delim";
+}
+
+std::string multiline_raw() {
+  return R"(line one
+line two with throw and delete
+line three)";
+}
+
+int real_code_after_raw_strings() {
+  int* leak = new int(7);  // FIXTURE: no-naked-new fires
+  return *leak;
+}
+
+}  // namespace anole::core

@@ -1,0 +1,9 @@
+// own-header-first: a module .cpp must include its own header first.
+#include "util/clean.hpp"  // FIXTURE: fires
+#include "core/wrong_first.hpp"
+
+namespace anole::core {
+
+int wrong_first_helper() { return 2; }
+
+}  // namespace anole::core

@@ -1,0 +1,7 @@
+#pragma once
+
+namespace anole::core {
+
+int wrong_first_helper();
+
+}  // namespace anole::core

@@ -1,0 +1,9 @@
+// Lateral include inside layer 3 (detect -> world): allowed while the
+// module graph stays acyclic, so no finding here.
+#include "world/frame.hpp"
+
+namespace anole::detect {
+
+int lateral_dependency() { return 1; }
+
+}  // namespace anole::detect

@@ -1,0 +1,9 @@
+// layering-dag: nn (layer 2) reaching into core (layer 4) is an upward
+// include — the module DAG only allows includes down the stack.
+#include "core/decision_model.hpp"  // FIXTURE: fires
+
+namespace anole::nn {
+
+int upward_dependency() { return 1; }
+
+}  // namespace anole::nn

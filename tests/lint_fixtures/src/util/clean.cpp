@@ -1,0 +1,11 @@
+#include "util/clean.hpp"
+
+namespace anole::util {
+
+std::size_t clean_sum(const std::vector<std::size_t>& values) {
+  std::size_t total = 0;
+  for (const std::size_t v : values) total += v;
+  return total;
+}
+
+}  // namespace anole::util

@@ -1,0 +1,11 @@
+// A fully clean header: the self-test asserts zero findings here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace anole::util {
+
+std::size_t clean_sum(const std::vector<std::size_t>& values);
+
+}  // namespace anole::util

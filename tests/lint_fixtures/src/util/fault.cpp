@@ -1,0 +1,15 @@
+// no-unordered-iteration also guards src/util/fault.* (fault schedules
+// feed the replayable trace).
+#include <unordered_map>
+
+namespace anole::util {
+
+int fault_order_scan(const std::unordered_map<int, double>& sites) {
+  int armed = 0;
+  for (const auto& site : sites) {  // FIXTURE: fires
+    if (site.second > 0.0) ++armed;
+  }
+  return armed;
+}
+
+}  // namespace anole::util

@@ -310,7 +310,7 @@ TEST(DeviceSession, WindowedOverrunRateTracksRecentFrames) {
 
 TEST(DeviceSession, FeedsObservationsToGovernor) {
   const auto tx2 = DeviceProfile::jetson_tx2_nx(kTinyFlops);
-  RuntimeGovernor governor;
+  core::RuntimeGovernor governor;
   DeviceSession session(tx2, 1.0, nullptr, &governor);
   FrameCost tight;
   tight.detector_flops = kTinyFlops;
@@ -322,7 +322,7 @@ TEST(DeviceSession, FeedsObservationsToGovernor) {
   // The session forwarded every overrun verdict: the window saturates and
   // the governor escalates out of kNormal.
   EXPECT_DOUBLE_EQ(governor.window_overrun_rate(), 1.0);
-  EXPECT_NE(governor.state(), GovernorState::kNormal);
+  EXPECT_NE(governor.state(), core::GovernorState::kNormal);
   EXPECT_GE(governor.transitions(), 1u);
 }
 

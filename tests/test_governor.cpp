@@ -1,8 +1,8 @@
-// RuntimeGovernor (device/governor.hpp): the overload state machine in
+// RuntimeGovernor (core/governor.hpp): the overload state machine in
 // isolation, and the closed loop it forms with AnoleEngine, ModelCache,
 // and DeviceSession — including bitwise-identical decision traces across
 // reruns and thread counts, and exact ANOLE_GOVERNOR=0 equivalence.
-#include "device/governor.hpp"
+#include "core/governor.hpp"
 
 #include <gtest/gtest.h>
 
@@ -51,7 +51,7 @@ class ScopedEnv {
 }  // namespace
 }  // namespace anole
 
-namespace anole::device {
+namespace anole::core {
 namespace {
 
 /// Small, fast-moving controller for the unit tests.
@@ -239,7 +239,7 @@ TEST(Governor, TraceIsDeterministicAndResetReplays) {
 }
 
 }  // namespace
-}  // namespace anole::device
+}  // namespace anole::core
 
 namespace anole::core {
 namespace {
@@ -247,10 +247,10 @@ namespace {
 using device::DeviceProfile;
 using device::DeviceSession;
 using device::FrameCost;
-using device::GovernorConfig;
-using device::GovernorState;
+using core::GovernorConfig;
+using core::GovernorState;
 using device::MemoryModel;
-using device::RuntimeGovernor;
+using core::RuntimeGovernor;
 
 /// Engine-level governor tests share one trained system. Slightly larger
 /// than the fault-ladder fixture (8 models, richer decision training):
