@@ -1,13 +1,20 @@
 // Micro-benchmarks of the hot paths.
 //
-// Default mode runs a deterministic timing suite over the parallel
-// execution layer — matmul GFLOP/s, int8 qgemm vs fp32 matmul at a
-// detector layer shape, k-means wall time, and OSP end-to-end wall time,
-// each at 1 thread and at 4 threads — verifies that the results are
-// identical at both thread counts, then times the post-training quantize/
-// dequantize pass and fp32-v2 vs quantized-v3 artifact loads on the OSP
-// system, and writes the numbers to BENCH_micro.json in the working
-// directory.
+// Default mode runs a deterministic timing suite over the parallel +
+// SIMD execution layers — matmul GFLOP/s, int8 qgemm vs fp32 matmul at
+// a detector layer shape, k-means wall time, OSP end-to-end wall time,
+// and engine batch throughput. Every kernel is timed against a pinned
+// scalar 1-thread reference (the headline "speedup" is active dispatch
+// level at 4 pool threads vs that reference) and at 1/2/4 pool threads
+// at the active level (the "thread_scaling" sections). The suite
+// verifies bitwise thread-count invariance per kernel, plus bitwise
+// *level* invariance for the int8 and k-means paths, then times the
+// post-training quantize/dequantize pass and fp32-v2 vs quantized-v3
+// artifact loads on the OSP system, and writes the numbers (including
+// the detected and active SIMD levels) to BENCH_micro.json in the
+// working directory. Exit is non-zero on a determinism failure, on a
+// k-means/qgemm 4-thread slowdown, or — when a vector level is active —
+// on a speedup below the committed floors.
 //
 // `bench_micro --gbench [google-benchmark flags]` instead runs the
 // google-benchmark suite (tensor matmul, detector forward, featurization,
@@ -18,6 +25,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <optional>
@@ -26,11 +34,13 @@
 #include "bench/common.hpp"
 #include "cluster/kmeans.hpp"
 #include "core/artifact.hpp"
+#include "core/engine.hpp"
 #include "core/model_cache.hpp"
 #include "core/quantize.hpp"
 #include "detect/grid_detector.hpp"
 #include "sampling/thompson.hpp"
 #include "tensor/qgemm.hpp"
+#include "tensor/simd.hpp"
 #include "util/parallel.hpp"
 #include "world/featurizer.hpp"
 #include "world/world.hpp"
@@ -348,53 +358,191 @@ OspSample time_osp(std::optional<OspArtifacts>* keep = nullptr) {
   return sample;
 }
 
+/// Batch inference throughput over the trained system's test frames.
+struct EngineBatchSample {
+  double seconds = 0.0;
+  double fps = 0.0;
+  std::size_t frames = 0;
+  /// FNV-1a over served models, confidences, and detections for
+  /// cross-thread-count bitwise comparison.
+  std::uint64_t digest = 0;
+};
+
+std::uint64_t mix64(std::uint64_t hash, std::uint64_t value) {
+  for (int byte = 0; byte < 8; ++byte) {
+    hash ^= (value >> (8 * byte)) & 0xFFu;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t double_bits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+EngineBatchSample time_engine_batch(OspArtifacts& artifacts, int reps) {
+  const std::vector<const world::Frame*> frames =
+      artifacts.world.frames_with_role(world::SplitRole::kTest);
+  EngineBatchSample sample;
+  sample.frames = frames.size();
+  sample.seconds = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    // A fresh engine per rep: cache and smoothing state start identical,
+    // so every rep (and every thread count) replays the same plan.
+    core::AnoleEngine engine(artifacts.system,
+                             core::CacheConfig{.capacity = 5});
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<core::EngineResult> results =
+        engine.process_batch(frames);
+    sample.seconds = std::min(sample.seconds, seconds_since(start));
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    for (const core::EngineResult& result : results) {
+      hash = mix64(hash, result.served_model);
+      hash = mix64(hash, double_bits(result.top1_confidence));
+      hash = mix64(hash, result.detections.size());
+      for (const detect::Detection& d : result.detections) {
+        hash = mix64(hash, double_bits(d.confidence));
+      }
+    }
+    sample.digest = hash;
+  }
+  sample.fps = static_cast<double>(sample.frames) / sample.seconds;
+  return sample;
+}
+
+/// One matmul+qgemm+kmeans measurement at the current dispatch level and
+/// pool thread count.
+struct KernelSet {
+  MatmulSample matmul;
+  GemmSample qgemm;
+  KMeansSample kmeans;
+};
+
+KernelSet run_kernels(std::size_t m, std::size_t k, std::size_t n) {
+  KernelSet set;
+  set.matmul = time_matmul(512, 5);
+  set.qgemm = time_qgemm(m, k, n, 5, 512);
+  set.kmeans = time_kmeans(3);
+  return set;
+}
+
+bool bitwise_equal_tensor(const Tensor& a, const Tensor& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.size() * sizeof(float)) == 0;
+}
+
+bool bitwise_equal_double(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
 int run_json_suite() {
   set_log_level(LogLevel::kWarn);
   const std::size_t default_threads = par::thread_count();
+  const simd::Level detected = simd::detected_level();
+  const simd::Level active = simd::active_level();
   std::fprintf(stderr,
                "[bench_micro] deterministic suite: default pool threads=%zu, "
-               "comparing 1 vs %zu pool threads\n",
-               default_threads, kBenchThreads);
+               "SIMD detected=%s active=%s, scalar 1T reference vs active at "
+               "1/2/%zu pool threads\n",
+               default_threads, simd::level_name(detected),
+               simd::level_name(active), kBenchThreads);
 
   /// Detector L1 shape at a full-batch row count: the layer the int8 fast
   /// path serves most often.
   constexpr std::size_t kQgemmM = 144, kQgemmK = 42, kQgemmN = 16;
 
+  // Scalar serial reference: the denominator of every headline speedup.
+  simd::set_level(simd::Level::kScalar);
   par::set_thread_count(1);
-  const MatmulSample matmul_1t = time_matmul(512, 5);
-  const GemmSample qgemm_1t = time_qgemm(kQgemmM, kQgemmK, kQgemmN, 5, 512);
-  const KMeansSample kmeans_1t = time_kmeans(3);
-  std::fprintf(stderr, "[bench_micro] OSP end-to-end at 1 thread...\n");
-  const OspSample osp_1t = time_osp();
+  const KernelSet scalar_1t = run_kernels(kQgemmM, kQgemmK, kQgemmN);
+  std::fprintf(stderr, "[bench_micro] OSP end-to-end, scalar 1T reference"
+               " (the slowest run of the suite)...\n");
+  const OspSample osp_s1 = time_osp();
+  simd::reset_level();
 
+  // The active dispatch level at 1/2/4 pool threads.
+  par::set_thread_count(1);
+  const KernelSet active_1t = run_kernels(kQgemmM, kQgemmK, kQgemmN);
+  std::fprintf(stderr, "[bench_micro] OSP end-to-end at 1 thread...\n");
+  const OspSample osp_a1 = time_osp();
+  par::set_thread_count(2);
+  const KernelSet active_2t = run_kernels(kQgemmM, kQgemmK, kQgemmN);
+  std::fprintf(stderr, "[bench_micro] OSP end-to-end at 2 threads...\n");
+  const OspSample osp_a2 = time_osp();
   par::set_thread_count(kBenchThreads);
-  const MatmulSample matmul_nt = time_matmul(512, 5);
-  const GemmSample qgemm_nt = time_qgemm(kQgemmM, kQgemmK, kQgemmN, 5, 512);
-  const KMeansSample kmeans_nt = time_kmeans(3);
+  const KernelSet active_4t = run_kernels(kQgemmM, kQgemmK, kQgemmN);
   std::fprintf(stderr, "[bench_micro] OSP end-to-end at %zu threads...\n",
                kBenchThreads);
   std::optional<OspArtifacts> osp_out;
-  const OspSample osp_nt = time_osp(&osp_out);
-  par::set_thread_count(0);
+  const OspSample osp_a4 = time_osp(&osp_out);
 
   std::fprintf(stderr,
                "[bench_micro] quantize pass + artifact v2/v3 loads...\n");
   const QuantArtifactSample quant = time_quant_artifact(osp_out->system);
+  // time_quant_artifact leaves the system dequantized; re-quantize it
+  // (untimed) so the engine bench serves the production int8 fast path
+  // (ANOLE_QUANT defaults on). The int8 kernels are bitwise identical at
+  // every dispatch level, so the digests below stay comparable.
+  (void)core::quantize_system(osp_out->system);
 
+  // Engine batch throughput over the same trained system at every thread
+  // count (active level), plus the pinned scalar 1T reference.
+  std::fprintf(stderr, "[bench_micro] engine batch throughput...\n");
+  par::set_thread_count(1);
+  const EngineBatchSample eng_a1 = time_engine_batch(*osp_out, 3);
+  par::set_thread_count(2);
+  const EngineBatchSample eng_a2 = time_engine_batch(*osp_out, 3);
+  par::set_thread_count(kBenchThreads);
+  const EngineBatchSample eng_a4 = time_engine_batch(*osp_out, 3);
+  simd::set_level(simd::Level::kScalar);
+  par::set_thread_count(1);
+  const EngineBatchSample eng_s1 = time_engine_batch(*osp_out, 3);
+  simd::reset_level();
+  par::set_thread_count(0);
+
+  // Bitwise thread-count invariance at the active level (1 vs 2 vs 4).
   const bool matmul_identical =
-      std::memcmp(&matmul_1t.checksum, &matmul_nt.checksum, sizeof(float)) ==
-      0;
+      std::memcmp(&active_1t.matmul.checksum, &active_2t.matmul.checksum,
+                  sizeof(float)) == 0 &&
+      std::memcmp(&active_1t.matmul.checksum, &active_4t.matmul.checksum,
+                  sizeof(float)) == 0;
   const bool qgemm_identical =
-      qgemm_1t.int8_product.size() == qgemm_nt.int8_product.size() &&
-      std::memcmp(qgemm_1t.int8_product.data().data(),
-                  qgemm_nt.int8_product.data().data(),
-                  qgemm_1t.int8_product.size() * sizeof(float)) == 0;
+      bitwise_equal_tensor(active_1t.qgemm.int8_product,
+                           active_2t.qgemm.int8_product) &&
+      bitwise_equal_tensor(active_1t.qgemm.int8_product,
+                           active_4t.qgemm.int8_product);
   const bool kmeans_identical =
-      std::memcmp(&kmeans_1t.inertia, &kmeans_nt.inertia, sizeof(double)) ==
-      0;
+      bitwise_equal_double(active_1t.kmeans.inertia,
+                           active_2t.kmeans.inertia) &&
+      bitwise_equal_double(active_1t.kmeans.inertia,
+                           active_4t.kmeans.inertia);
   const bool osp_identical =
-      osp_1t.models == osp_nt.models &&
-      std::memcmp(&osp_1t.mean_f1, &osp_nt.mean_f1, sizeof(double)) == 0;
+      osp_a1.models == osp_a2.models && osp_a1.models == osp_a4.models &&
+      bitwise_equal_double(osp_a1.mean_f1, osp_a2.mean_f1) &&
+      bitwise_equal_double(osp_a1.mean_f1, osp_a4.mean_f1);
+  const bool engine_identical =
+      eng_a1.digest == eng_a2.digest && eng_a1.digest == eng_a4.digest;
+  // Bitwise *level* invariance where the kernels promise it: the int8
+  // path and the k-means distance kernel (fp32 GEMM at AVX2 uses FMA and
+  // is exempt by contract — DESIGN.md §13).
+  const bool qgemm_level_identical = bitwise_equal_tensor(
+      scalar_1t.qgemm.int8_product, active_4t.qgemm.int8_product);
+  const bool kmeans_level_identical = bitwise_equal_double(
+      scalar_1t.kmeans.inertia, active_4t.kmeans.inertia);
+
+  // Headline speedups: active level at 4 threads vs the scalar serial
+  // reference.
+  const double matmul_speedup =
+      active_4t.matmul.gflops / scalar_1t.matmul.gflops;
+  const double qgemm_speedup =
+      scalar_1t.qgemm.int8_us / active_4t.qgemm.int8_us;
+  const double kmeans_speedup =
+      scalar_1t.kmeans.seconds / active_4t.kmeans.seconds;
+  const double osp_speedup = osp_s1.seconds / osp_a4.seconds;
+  const double engine_speedup = eng_s1.seconds / eng_a4.seconds;
 
   std::FILE* out = std::fopen("BENCH_micro.json", "w");
   if (out == nullptr) {
@@ -404,23 +552,38 @@ int run_json_suite() {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"default_pool_threads\": %zu,\n", default_threads);
   std::fprintf(out, "  \"pool_threads\": %zu,\n", kBenchThreads);
+  std::fprintf(out, "  \"simd\": {\n");
+  std::fprintf(out, "    \"detected\": \"%s\",\n", simd::level_name(detected));
+  std::fprintf(out, "    \"active\": \"%s\"\n", simd::level_name(active));
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"matmul_512\": {\n");
-  std::fprintf(out, "    \"gflops_threads_1\": %.4f,\n", matmul_1t.gflops);
-  std::fprintf(out, "    \"gflops_threads_n\": %.4f,\n", matmul_nt.gflops);
-  std::fprintf(out, "    \"speedup\": %.4f,\n",
-               matmul_nt.gflops / matmul_1t.gflops);
-  std::fprintf(out, "    \"identical_results\": %s\n",
+  std::fprintf(out, "    \"gflops_scalar_1t\": %.4f,\n",
+               scalar_1t.matmul.gflops);
+  std::fprintf(out, "    \"speedup\": %.4f,\n", matmul_speedup);
+  std::fprintf(out, "    \"identical_results\": %s,\n",
                matmul_identical ? "true" : "false");
+  std::fprintf(out, "    \"thread_scaling\": {\n");
+  std::fprintf(out, "      \"gflops_1t\": %.4f,\n", active_1t.matmul.gflops);
+  std::fprintf(out, "      \"gflops_2t\": %.4f,\n", active_2t.matmul.gflops);
+  std::fprintf(out, "      \"gflops_4t\": %.4f\n", active_4t.matmul.gflops);
+  std::fprintf(out, "    }\n");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"qgemm_144x42x16\": {\n");
-  std::fprintf(out, "    \"fp32_us_threads_1\": %.4f,\n", qgemm_1t.fp32_us);
-  std::fprintf(out, "    \"int8_us_threads_1\": %.4f,\n", qgemm_1t.int8_us);
-  std::fprintf(out, "    \"fp32_us_threads_n\": %.4f,\n", qgemm_nt.fp32_us);
-  std::fprintf(out, "    \"int8_us_threads_n\": %.4f,\n", qgemm_nt.int8_us);
+  std::fprintf(out, "    \"fp32_us_1t\": %.4f,\n", active_1t.qgemm.fp32_us);
+  std::fprintf(out, "    \"int8_us_scalar_1t\": %.4f,\n",
+               scalar_1t.qgemm.int8_us);
   std::fprintf(out, "    \"int8_speedup_vs_fp32\": %.4f,\n",
-               qgemm_1t.fp32_us / qgemm_1t.int8_us);
-  std::fprintf(out, "    \"identical_results\": %s\n",
+               active_1t.qgemm.fp32_us / active_1t.qgemm.int8_us);
+  std::fprintf(out, "    \"speedup\": %.4f,\n", qgemm_speedup);
+  std::fprintf(out, "    \"identical_results\": %s,\n",
                qgemm_identical ? "true" : "false");
+  std::fprintf(out, "    \"identical_across_levels\": %s,\n",
+               qgemm_level_identical ? "true" : "false");
+  std::fprintf(out, "    \"thread_scaling\": {\n");
+  std::fprintf(out, "      \"int8_us_1t\": %.4f,\n", active_1t.qgemm.int8_us);
+  std::fprintf(out, "      \"int8_us_2t\": %.4f,\n", active_2t.qgemm.int8_us);
+  std::fprintf(out, "      \"int8_us_4t\": %.4f\n", active_4t.qgemm.int8_us);
+  std::fprintf(out, "    }\n");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"quantize_pass\": {\n");
   std::fprintf(out, "    \"quantize_seconds\": %.6f,\n",
@@ -444,39 +607,88 @@ int run_json_suite() {
                quant.v3_load_seconds);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"kmeans_2000x48_k16\": {\n");
-  std::fprintf(out, "    \"seconds_threads_1\": %.6f,\n", kmeans_1t.seconds);
-  std::fprintf(out, "    \"seconds_threads_n\": %.6f,\n", kmeans_nt.seconds);
-  std::fprintf(out, "    \"speedup\": %.4f,\n",
-               kmeans_1t.seconds / kmeans_nt.seconds);
-  std::fprintf(out, "    \"identical_results\": %s\n",
+  std::fprintf(out, "    \"seconds_scalar_1t\": %.6f,\n",
+               scalar_1t.kmeans.seconds);
+  std::fprintf(out, "    \"speedup\": %.4f,\n", kmeans_speedup);
+  std::fprintf(out, "    \"identical_results\": %s,\n",
                kmeans_identical ? "true" : "false");
+  std::fprintf(out, "    \"identical_across_levels\": %s,\n",
+               kmeans_level_identical ? "true" : "false");
+  std::fprintf(out, "    \"thread_scaling\": {\n");
+  std::fprintf(out, "      \"seconds_1t\": %.6f,\n",
+               active_1t.kmeans.seconds);
+  std::fprintf(out, "      \"seconds_2t\": %.6f,\n",
+               active_2t.kmeans.seconds);
+  std::fprintf(out, "      \"seconds_4t\": %.6f\n",
+               active_4t.kmeans.seconds);
+  std::fprintf(out, "    }\n");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"osp_end_to_end\": {\n");
-  std::fprintf(out, "    \"seconds_threads_1\": %.3f,\n", osp_1t.seconds);
-  std::fprintf(out, "    \"seconds_threads_n\": %.3f,\n", osp_nt.seconds);
-  std::fprintf(out, "    \"speedup\": %.4f,\n",
-               osp_1t.seconds / osp_nt.seconds);
-  std::fprintf(out, "    \"models_trained\": %zu,\n", osp_1t.models);
-  std::fprintf(out, "    \"identical_results\": %s\n",
+  std::fprintf(out, "    \"seconds_scalar_1t\": %.3f,\n", osp_s1.seconds);
+  std::fprintf(out, "    \"speedup\": %.4f,\n", osp_speedup);
+  std::fprintf(out, "    \"models_trained\": %zu,\n", osp_a4.models);
+  std::fprintf(out, "    \"identical_results\": %s,\n",
                osp_identical ? "true" : "false");
+  std::fprintf(out, "    \"thread_scaling\": {\n");
+  std::fprintf(out, "      \"seconds_1t\": %.3f,\n", osp_a1.seconds);
+  std::fprintf(out, "      \"seconds_2t\": %.3f,\n", osp_a2.seconds);
+  std::fprintf(out, "      \"seconds_4t\": %.3f\n", osp_a4.seconds);
+  std::fprintf(out, "    }\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"engine_batch\": {\n");
+  std::fprintf(out, "    \"frames\": %zu,\n", eng_a4.frames);
+  std::fprintf(out, "    \"seconds_scalar_1t\": %.4f,\n", eng_s1.seconds);
+  std::fprintf(out, "    \"fps_4t\": %.2f,\n", eng_a4.fps);
+  std::fprintf(out, "    \"speedup\": %.4f,\n", engine_speedup);
+  std::fprintf(out, "    \"identical_results\": %s,\n",
+               engine_identical ? "true" : "false");
+  std::fprintf(out, "    \"thread_scaling\": {\n");
+  std::fprintf(out, "      \"seconds_1t\": %.4f,\n", eng_a1.seconds);
+  std::fprintf(out, "      \"seconds_2t\": %.4f,\n", eng_a2.seconds);
+  std::fprintf(out, "      \"seconds_4t\": %.4f\n", eng_a4.seconds);
+  std::fprintf(out, "    }\n");
   std::fprintf(out, "  }\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
 
   const bool all_identical = matmul_identical && qgemm_identical &&
-                             kmeans_identical && osp_identical;
+                             kmeans_identical && osp_identical &&
+                             engine_identical && qgemm_level_identical &&
+                             kmeans_level_identical;
+  // A parallel kernel must never lose to its own 1-thread run (the
+  // pre-overhaul k-means did): 10% tolerance absorbs timer noise.
+  const bool no_thread_regression =
+      active_4t.kmeans.seconds <= active_1t.kmeans.seconds * 1.10 &&
+      active_4t.qgemm.int8_us <= active_1t.qgemm.int8_us * 1.10;
+  // Speedup floors only bind when a vector level is active: on a
+  // scalar-only host every ratio is ~1 by construction.
+  const bool speedups_ok =
+      active == simd::Level::kScalar ||
+      (matmul_speedup >= 2.5 && osp_speedup >= 3.0 &&
+       engine_speedup >= 3.0 && kmeans_speedup > 1.0);
+
   std::fprintf(stderr,
-               "[bench_micro] matmul %.2f -> %.2f GFLOP/s, qgemm int8 "
-               "%.1fus vs fp32 %.1fus (%.2fx), kmeans %.3fs -> %.3fs, OSP "
-               "%.1fs -> %.1fs, artifact v2 %zuB/%.3fs vs v3 %zuB/%.3fs; "
-               "determinism %s; wrote BENCH_micro.json\n",
-               matmul_1t.gflops, matmul_nt.gflops, qgemm_1t.int8_us,
-               qgemm_1t.fp32_us, qgemm_1t.fp32_us / qgemm_1t.int8_us,
-               kmeans_1t.seconds, kmeans_nt.seconds, osp_1t.seconds,
-               osp_nt.seconds, quant.v2_bytes, quant.v2_load_seconds,
-               quant.v3_bytes, quant.v3_load_seconds,
-               all_identical ? "OK" : "FAILED");
-  return all_identical ? 0 : 1;
+               "[bench_micro] simd %s: matmul %.2f -> %.2f GFLOP/s "
+               "(%.2fx), qgemm int8 %.1fus -> %.1fus (%.2fx), kmeans "
+               "%.3fs -> %.3fs (%.2fx), OSP %.1fs -> %.1fs (%.2fx), "
+               "engine batch %.2fs -> %.2fs (%.2fx, %.0f fps), artifact "
+               "v2 %zuB/%.3fs vs v3 %zuB/%.3fs\n",
+               simd::level_name(active), scalar_1t.matmul.gflops,
+               active_4t.matmul.gflops, matmul_speedup,
+               scalar_1t.qgemm.int8_us, active_4t.qgemm.int8_us,
+               qgemm_speedup, scalar_1t.kmeans.seconds,
+               active_4t.kmeans.seconds, kmeans_speedup, osp_s1.seconds,
+               osp_a4.seconds, osp_speedup, eng_s1.seconds, eng_a4.seconds,
+               engine_speedup, eng_a4.fps, quant.v2_bytes,
+               quant.v2_load_seconds, quant.v3_bytes,
+               quant.v3_load_seconds);
+  std::fprintf(stderr,
+               "[bench_micro] determinism %s, thread regression check %s, "
+               "speedup floors %s; wrote BENCH_micro.json\n",
+               all_identical ? "OK" : "FAILED",
+               no_thread_regression ? "OK" : "FAILED",
+               speedups_ok ? "OK" : "FAILED");
+  return (all_identical && no_thread_regression && speedups_ok) ? 0 : 1;
 }
 
 }  // namespace

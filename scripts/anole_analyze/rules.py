@@ -19,7 +19,12 @@ from anole_analyze.lexer import Token
 NO_THROW_FILES = {"src/core/engine.cpp", "src/core/model_cache.cpp"}
 
 # The only files allowed to reinterpret_cast raw weight/SIMD bytes.
-REINTERPRET_CAST_FILES = {"src/nn/serialize.hpp", "src/tensor/qgemm.cpp"}
+REINTERPRET_CAST_FILES = {"src/nn/serialize.hpp", "src/tensor/simd.cpp"}
+
+# The dispatch module: the only home for vendor intrinsics. Everything
+# else calls the leveled kernels in tensor/simd.hpp so ANOLE_SIMD can
+# force any path and replay stays pinned to one instruction set.
+INTRINSICS_PREFIX = "src/tensor/simd"
 
 # Trace-affecting code where iteration order must be deterministic.
 ORDERED_ITERATION_PREFIXES = ("src/core/", "src/device/", "src/util/fault.")
@@ -203,6 +208,31 @@ def rule_no_reinterpret_cast(ctx: FileContext):
             yield Finding(ctx.rel, t.line, "no-reinterpret-cast",
                           "reinterpret_cast banned here; route raw byte "
                           "access through nn/serialize.hpp pod helpers")
+
+
+def rule_no_naked_intrinsics(ctx: FileContext):
+    """Vendor SIMD intrinsics (<immintrin.h> and friends, _mm*/__m*
+    identifiers) are banned outside src/tensor/simd.*. A naked intrinsic
+    elsewhere bypasses the runtime dispatcher, so an ANOLE_SIMD override
+    (or a replay on a different host) would silently execute a different
+    instruction mix than the recorded level."""
+    if ctx.rel.startswith(INTRINSICS_PREFIX):
+        return
+    for inc in ctx.includes:
+        if inc.path.endswith("intrin.h"):
+            yield Finding(
+                ctx.rel, inc.line, "no-naked-intrinsics",
+                f"<{inc.path}> banned outside {INTRINSICS_PREFIX}*; call "
+                "the leveled kernels in tensor/simd.hpp instead")
+    for t in ctx.tokens:
+        if t.kind != "ident":
+            continue
+        if t.text.startswith("_mm") or t.text.startswith("__m"):
+            yield Finding(
+                ctx.rel, t.line, "no-naked-intrinsics",
+                f"intrinsic '{t.text}' banned outside {INTRINSICS_PREFIX}*; "
+                "raw intrinsics bypass the ANOLE_SIMD dispatch level — use "
+                "the kernels in tensor/simd.hpp")
 
 
 def rule_no_wallclock(ctx: FileContext):
@@ -497,6 +527,7 @@ ALL_FILE_RULES = [
     ("no-raw-thread", rule_no_raw_thread),
     ("no-throw-omi-hot-path", rule_no_throw_omi_hot_path),
     ("no-reinterpret-cast", rule_no_reinterpret_cast),
+    ("no-naked-intrinsics", rule_no_naked_intrinsics),
     ("no-wallclock", rule_no_wallclock),
     ("no-unordered-iteration", rule_no_unordered_iteration),
     ("no-unstable-tiebreak", rule_no_unstable_tiebreak),
@@ -517,6 +548,8 @@ RULE_DOCS = {
     "no-raw-thread": "raw threads banned; use the deterministic pool",
     "no-throw-omi-hot-path": "no literal throw in the OMI hot path",
     "no-reinterpret-cast": "reinterpret_cast only in sanctioned homes",
+    "no-naked-intrinsics":
+        "vendor SIMD intrinsics only inside src/tensor/simd.*",
     "no-wallclock": "no wall-clock reads under src/ (clocks, time(), ...)",
     "no-unordered-iteration":
         "no iteration over unordered containers in trace-affecting code",

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full correctness gate, eight named stages:
+# Full correctness gate, nine named stages:
 #
 #   lint     repo lint (token analyzer) + analyzer self-test
 #   release  Release build + tests (warnings are errors)
@@ -7,6 +7,7 @@
 #   tsan     TSan build + tests (thread pool race check)
 #   faults   tier-1 tests under a canned ANOLE_FAULTS schedule (ASan)
 #   quant    tier-1 tests with ANOLE_QUANT=1 (ASan)
+#   simd     tier-1 tests under forced SIMD dispatch levels (Release)
 #   soak     10k-frame governor soak under overload faults (ASan)
 #   tidy     static-analysis gate: analyzer + ratchet + clang-tidy
 #
@@ -106,6 +107,18 @@ stage_quant() {
   ANOLE_QUANT=1 ctest --test-dir build-asan --output-on-failure -j "$jobs"
 }
 
+stage_simd() {
+  # Pins the SIMD dispatch level below the host's detected one so the
+  # scalar/SSE2 kernels — normally shadowed by AVX2 — run the full tier-1
+  # suite. avx2 is forced explicitly when the host supports it, covering
+  # the clamp path and the FMA kernels regardless of future defaults.
+  ANOLE_SIMD=scalar ctest --test-dir build --output-on-failure -j "$jobs" &&
+  ANOLE_SIMD=sse2 ctest --test-dir build --output-on-failure -j "$jobs" &&
+  if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+    ANOLE_SIMD=avx2 ctest --test-dir build --output-on-failure -j "$jobs"
+  fi
+}
+
 stage_soak() {
   # A long closed-loop session through the runtime governor with I/O latency
   # spikes and memory-pressure budget shrinks. The test asserts every frame
@@ -136,6 +149,7 @@ run_stage asan    "ASan+UBSan Debug build + tests"                 stage_asan
 run_stage tsan    "TSan build + tests (thread pool race check)"    stage_tsan
 run_stage faults  "tier-1 tests under injected faults (ASan)"      stage_faults
 run_stage quant   "tier-1 tests with ANOLE_QUANT=1 (ASan)"         stage_quant
+run_stage simd    "tier-1 tests under forced SIMD levels"          stage_simd
 run_stage soak    "governor soak: 10k frames under faults (ASan)"  stage_soak
 run_stage tidy    "static gate: analyzer ratchet + clang-tidy"     stage_tidy
 

@@ -172,6 +172,13 @@ class TestDeepRules(unittest.TestCase):
         got = findings_for("env-var-registry")
         self.assertEqual(got, {"src/core/bad_env.cpp": [11]})
 
+    def test_no_naked_intrinsics(self):
+        got = findings_for("no-naked-intrinsics")
+        self.assertEqual(got, {"src/core/bad_intrinsics.cpp": [4, 9, 10, 11, 13]})
+        # The dispatch module itself (src/tensor/simd*) is the sanctioned
+        # home: identical constructs there never fire.
+        self.assertNotIn("src/tensor/simd_kernels.cpp", got)
+
 
 class TestContractCoverage(unittest.TestCase):
     def _sample_functions(self):

@@ -2,15 +2,20 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
+#include "tensor/simd.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace anole::cluster {
 namespace {
 
-/// Points per parallel chunk for the O(n*k*d) scans. Fixed (thread-count
-/// independent) so chunked reductions stay deterministic.
+/// Floor for points per parallel chunk in the O(n*k*d) scans. The actual
+/// grain is derived from the per-point work via par::work_grain, so small
+/// problems produce few, coarse chunks instead of waking the pool for
+/// microseconds of work. Fixed (thread-count independent) so chunked
+/// reductions stay deterministic.
 constexpr std::size_t kPointGrain = 64;
 
 }  // namespace
@@ -69,7 +74,7 @@ KMeansResult kmeans(const Tensor& points, const KMeansConfig& config,
   std::copy(points.row(first).begin(), points.row(first).end(),
             result.centroids.row(0).begin());
   for (std::size_t c = 1; c < k; ++c) {
-    par::parallel_for(0, n, kPointGrain, [&](std::size_t i) {
+    par::parallel_for(0, n, kPointGrain, d, [&](std::size_t i) {
       const double dist =
           squared_distance(points.row(i), result.centroids.row(c - 1));
       min_distance[i] = std::min(min_distance[i], dist);
@@ -88,16 +93,45 @@ KMeansResult kmeans(const Tensor& points, const KMeansConfig& config,
 
   // --- Lloyd iterations ---
   result.assignments.assign(n, 0);
+  // Assignment is the O(n*k*d) step and runs through the dispatched
+  // distance kernel (tensor/simd.hpp): centroids are staged in a
+  // lane-transposed double copy (ct[dim * k_stride + c]) so vector lanes
+  // map to centroids. Every dispatch level accumulates each lane in
+  // ascending dimension order with separate mul+add — bitwise identical
+  // to squared_distance — so assignments (and therefore the whole
+  // clustering) are independent of the SIMD level and thread count.
+  const simd::Level level = simd::active_level();
+  const std::size_t k_stride =
+      (k + simd::kKmeansLaneMultiple - 1) / simd::kKmeansLaneMultiple *
+      simd::kKmeansLaneMultiple;
+  std::vector<double> centroids_t(d * k_stride, 0.0);
+  const std::size_t work_per_point = k * d;
+  const std::size_t point_grain = par::work_grain(kPointGrain, work_per_point);
   for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
-    // Assignment is the O(n*k*d) step: parallel over points, counting
-    // changes per chunk with an ordered (deterministic) combine.
+    for (std::size_t c = 0; c < k; ++c) {
+      const auto row = result.centroids.row(c);
+      for (std::size_t dim = 0; dim < d; ++dim) {
+        centroids_t[dim * k_stride + c] = static_cast<double>(row[dim]);
+      }
+    }
     const std::size_t changes = par::parallel_reduce(
-        std::size_t{0}, n, kPointGrain, std::size_t{0},
+        std::size_t{0}, n, point_grain, work_per_point, std::size_t{0},
         [&](std::size_t lo, std::size_t hi) {
+          // Padding lanes (c >= k) compute distances to the zero vector;
+          // the argmin below never reads them.
+          std::vector<double> dist(k_stride);
           std::size_t chunk_changes = 0;
           for (std::size_t i = lo; i < hi; ++i) {
-            const std::size_t nearest =
-                nearest_centroid(result.centroids, points.row(i));
+            simd::kmeans_distances(level, points.row(i).data(), d,
+                                   centroids_t.data(), k_stride, dist.data());
+            std::size_t nearest = 0;
+            double best = dist[0];
+            for (std::size_t c = 1; c < k; ++c) {
+              if (dist[c] < best) {
+                best = dist[c];
+                nearest = c;
+              }
+            }
             if (nearest != result.assignments[i]) {
               result.assignments[i] = nearest;
               ++chunk_changes;
@@ -148,7 +182,7 @@ KMeansResult kmeans(const Tensor& points, const KMeansConfig& config,
   }
 
   result.inertia = par::parallel_reduce(
-      std::size_t{0}, n, kPointGrain, 0.0,
+      std::size_t{0}, n, kPointGrain, d, 0.0,
       [&](std::size_t lo, std::size_t hi) {
         double partial = 0.0;
         for (std::size_t i = lo; i < hi; ++i) {

@@ -55,11 +55,12 @@ DecisionDataset build_decision_dataset(ModelRepository& repository,
     // per-frame best, weighted by their F1 so clearly better models get
     // more label mass.
     std::vector<double> scores(n_models, 0.0);
-    // Each model is a distinct network, so scoring them on the sampled
-    // frame fans out over the pool (disjoint writes, no rng draws).
+    // Scoring fans out over the pool through the const Detector::infer
+    // path (disjoint writes, no rng draws, no module state). No work
+    // hint: each model is a full network pass, always worth a chunk.
     par::parallel_for(0, n_models, 1, [&](std::size_t m) {
       scores[m] = detect::match_detections(
-                      repository.detector(m).detect(frame), frame.objects)
+                      repository.detector(m).infer(frame), frame.objects)
                       .f1();
     });
     const std::size_t best = static_cast<std::size_t>(

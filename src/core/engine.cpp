@@ -8,6 +8,7 @@
 
 #include "nn/quantize.hpp"
 #include "util/check.hpp"
+#include "util/parallel.hpp"
 
 namespace anole::core {
 namespace {
@@ -121,23 +122,54 @@ std::vector<EngineResult> AnoleEngine::process_batch(
     const std::vector<const world::Frame*>& frames) {
   std::vector<EngineResult> results;
   if (frames.empty()) return results;
+  for (const world::Frame* frame : frames) {
+    ANOLE_CHECK(frame != nullptr,
+                "AnoleEngine::process_batch: null frame pointer");
+  }
   // MSS, hoisted: one featurize_batch and one decision-model forward for
   // the whole batch. Each matmul output row depends only on its own input
   // row, so row i of `probs` is bitwise identical to what process() would
-  // have computed for frame i alone. Fault draws all happen in the
-  // sequential tail below, keeping the schedule thread-count-invariant.
+  // have computed for frame i alone.
   const Tensor descriptors = featurizer_.featurize_batch(frames);
   const Tensor probs = system_->decision->suitability(descriptors);
-  results.reserve(frames.size());
+  // Plan stage, sequential in frame order: every piece of mutable engine
+  // state — smoothing, governor, cache admission, fault draws, counters —
+  // advances here exactly as the frame-by-frame path would.
+  results.resize(frames.size());
+  constexpr std::size_t kNoDetect = ~std::size_t{0};
+  std::vector<std::size_t> planned(frames.size(), kNoDetect);
   for (std::size_t i = 0; i < frames.size(); ++i) {
-    results.push_back(process_with_suitability(*frames[i], probs.row(i)));
+    planned[i] =
+        plan_with_suitability(results[i], probs.row(i)).value_or(kNoDetect);
   }
+  // Detect stage: fan out across frames through the const
+  // Detector::infer path (grain 1: one frame is a full network pass).
+  // Frames sharing a detector are safe — infer writes no module state —
+  // and nested tensor kernels inside a pool worker run inline with
+  // thread-count-invariant chunking, so each frame's detections are
+  // bitwise identical to the serial path. No work hint: a frame is
+  // always worth a chunk.
+  par::parallel_for(0, frames.size(), 1, [&](std::size_t i) {
+    if (planned[i] == kNoDetect) return;
+    results[i].detections =
+        system_->repository.detector(planned[i]).infer(*frames[i]);
+  });
   return results;
 }
 
 EngineResult AnoleEngine::process_with_suitability(
     const world::Frame& frame, std::span<const float> probs) {
   EngineResult result;
+  const std::optional<std::size_t> model =
+      plan_with_suitability(result, probs);
+  if (model.has_value()) {
+    result.detections = system_->repository.detector(*model).infer(frame);
+  }
+  return result;
+}
+
+std::optional<std::size_t> AnoleEngine::plan_with_suitability(
+    EngineResult& result, std::span<const float> probs) {
   const std::size_t n = system_->repository.size();
   ANOLE_CHECK_EQ(probs.size(), n,
                  "AnoleEngine: suitability width != repository size");
@@ -158,7 +190,7 @@ EngineResult AnoleEngine::process_with_suitability(
     result.served_model = last_served_.value_or(fallback_model_);
     result.top1_model = result.served_model;
     ++frames_;
-    return result;
+    return std::nullopt;
   }
 
   const bool reuse_ranking =
@@ -194,9 +226,11 @@ EngineResult AnoleEngine::process_with_suitability(
   if (admission.served_pinned) ++degraded_frames_;
   if (result.health.swap_suppressed) ++swap_suppressed_frames_;
 
-  // MI: run the chosen compressed model. A corrupt payload degrades to an
-  // empty detection set for this frame instead of feeding the detector
-  // garbage.
+  // MI planning: decide whether the chosen compressed model runs. A
+  // corrupt payload degrades to an empty detection set for this frame
+  // instead of feeding the detector garbage; the inference itself is the
+  // caller's (const, fan-out-able) detect stage.
+  std::optional<std::size_t> detect_model;
   if (faults_ != nullptr &&
       faults_->should_fail(fault::Site::kFramePayload, frames_)) {
     result.health.payload_corrupt = true;
@@ -206,7 +240,7 @@ EngineResult AnoleEngine::process_with_suitability(
         system_->repository.detector(admission.served_model);
     result.health.served_quantized = nn::is_quantized(served.network());
     if (result.health.served_quantized) ++quantized_frames_;
-    result.detections = served.detect(frame);
+    detect_model = admission.served_model;
   }
 
   result.model_switched =
@@ -214,7 +248,7 @@ EngineResult AnoleEngine::process_with_suitability(
   if (result.model_switched) ++switches_;
   last_served_ = admission.served_model;
   ++frames_;
-  return result;
+  return detect_model;
 }
 
 std::vector<std::size_t> AnoleEngine::rank_suitability(

@@ -125,11 +125,15 @@ class AnoleEngine {
 
   EngineResult process(const world::Frame& frame);
 
-  /// Processes `frames` in stream order. Featurization and the decision
-  /// model's embedding run once over the whole batch (parallel, batched
-  /// matmuls); the stateful per-frame stages (temporal smoothing, cache
-  /// admission, inference) then run sequentially, so the results — and
-  /// any injected fault schedule — are bitwise identical to calling
+  /// Processes `frames` in stream order in three stages. Featurization
+  /// and the decision model's embedding run once over the whole batch
+  /// (batched matmuls). The stateful plan stage (temporal smoothing,
+  /// governor directives, cache admission, every fault draw and counter)
+  /// then runs sequentially in frame order. Finally the detect stage fans
+  /// out across frames through the const Detector::infer path — per-frame
+  /// detections depend only on that frame's planned model, and nested
+  /// tensor kernels use thread-count-invariant chunking — so the results,
+  /// and any injected fault schedule, are bitwise identical to calling
   /// process() frame by frame at any thread count.
   std::vector<EngineResult> process_batch(
       const std::vector<const world::Frame*>& frames);
@@ -193,6 +197,15 @@ class AnoleEngine {
   /// suitability probabilities for one frame are known.
   EngineResult process_with_suitability(const world::Frame& frame,
                                         std::span<const float> probs);
+
+  /// Stateful plan stage for one frame: governor directive, MSS ranking
+  /// (or throttled reuse), cache admission, every fault draw and counter
+  /// update — everything except running the detector. Must be called in
+  /// frame order. Returns the model to run detection with, or nullopt
+  /// when no detector runs (shed frame or corrupt payload); the detect
+  /// stage itself is const (Detector::infer) and may fan out.
+  std::optional<std::size_t> plan_with_suitability(
+      EngineResult& result, std::span<const float> probs);
 
   /// MSS tail: smoothing, NaN guard, ranking sort, confidence fallback.
   /// Fills the top-1 fields of `result` and stores the ranking for

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "tensor/simd.hpp"
 #include "util/check.hpp"
 
 namespace anole::core {
@@ -134,6 +135,10 @@ std::uint64_t RuntimeGovernor::trace_hash() const {
       hash *= 0x100000001B3ULL;
     }
   };
+  // The active SIMD dispatch level is part of the trace identity: a
+  // replay under a different level (ANOLE_SIMD) is a different execution
+  // environment and must not silently hash equal.
+  mix(static_cast<std::uint64_t>(simd::active_level()) + 1);
   for (const GovernorEvent& event : trace_) {
     mix(event.frame);
     mix(static_cast<std::uint64_t>(event.from));

@@ -26,6 +26,10 @@ Tensor SceneEncoder::forward(const Tensor& input) {
   return head_->forward(trunk_->forward(input));
 }
 
+Tensor SceneEncoder::infer(const Tensor& input) const {
+  return head_->infer(trunk_->infer(input));
+}
+
 Tensor SceneEncoder::backward(const Tensor& grad_output) {
   return trunk_->backward(head_->backward(grad_output));
 }

@@ -35,6 +35,7 @@ class SceneEncoder : public nn::Module {
 
   /// Full classifier forward (trunk + head); used during training.
   Tensor forward(const Tensor& input) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<nn::Parameter*> parameters() override;
   void set_training(bool training) override;

@@ -14,8 +14,9 @@ namespace {
 /// boxes [cells, 4] views (copies; cheap at this scale).
 void split_outputs(const Tensor& outputs, Tensor& objectness, Tensor& boxes) {
   const std::size_t cells = outputs.rows();
-  objectness = Tensor::matrix(cells, 1);
-  boxes = Tensor::matrix(cells, 4);
+  // Every element is written below; skip the zero-fills.
+  objectness = Tensor::uninitialized(Shape{cells, 1});
+  boxes = Tensor::uninitialized(Shape{cells, 4});
   for (std::size_t i = 0; i < cells; ++i) {
     auto row = outputs.row(i);
     objectness.at(i, 0) = row[0];
@@ -26,7 +27,8 @@ void split_outputs(const Tensor& outputs, Tensor& objectness, Tensor& boxes) {
 Tensor merge_gradients(const Tensor& grad_objectness, const Tensor& grad_boxes,
                        double box_weight) {
   const std::size_t cells = grad_objectness.rows();
-  Tensor grad = Tensor::matrix(cells, GridDetector::kOutputsPerCell);
+  Tensor grad =
+      Tensor::uninitialized(Shape{cells, GridDetector::kOutputsPerCell});
   for (std::size_t i = 0; i < cells; ++i) {
     auto row = grad.row(i);
     row[0] = grad_objectness.at(i, 0);
@@ -64,6 +66,16 @@ DetectorTrainResult train_detector(
   nn::Adam optimizer(net.parameters(), config.learning_rate, 0.9, 0.999,
                      1e-8, config.weight_decay);
 
+  // Featurize every frame once up front: inputs and targets are pure
+  // functions of the frame, and rebuilding them per batch per epoch used
+  // to dominate the non-GEMM training profile.
+  std::vector<Tensor> cached_inputs(frames.size());
+  std::vector<GridDetector::Targets> cached_targets(frames.size());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    cached_inputs[f] = GridDetector::build_inputs(*frames[f]);
+    cached_targets[f] = GridDetector::build_targets(*frames[f]);
+  }
+
   const std::size_t epochs = config.effective_epochs(frames.size());
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
     auto order = random_permutation(frames.size(), rng);
@@ -74,30 +86,31 @@ DetectorTrainResult train_detector(
       const std::size_t end =
           std::min(start + config.frames_per_batch, order.size());
       // Stack the per-cell rows of all frames in the batch.
-      std::vector<Tensor> frame_inputs;
-      std::vector<GridDetector::Targets> frame_targets;
+      std::vector<const Tensor*> frame_inputs;
+      std::vector<const GridDetector::Targets*> frame_targets;
       std::size_t total_cells = 0;
       for (std::size_t k = start; k < end; ++k) {
-        const world::Frame& frame = *frames[order[k]];
-        frame_inputs.push_back(GridDetector::build_inputs(frame));
-        frame_targets.push_back(GridDetector::build_targets(frame));
-        total_cells += frame.cell_count();
+        frame_inputs.push_back(&cached_inputs[order[k]]);
+        frame_targets.push_back(&cached_targets[order[k]]);
+        total_cells += frames[order[k]]->cell_count();
       }
-      Tensor inputs =
-          Tensor::matrix(total_cells, GridDetector::input_features());
-      Tensor target_obj = Tensor::matrix(total_cells, 1);
-      Tensor target_boxes = Tensor::matrix(total_cells, 4);
-      Tensor box_mask = Tensor::matrix(total_cells, 4);
+      // The assembly loop below writes every row of all four tensors, so
+      // the zero-fill of Tensor::matrix would be pure overwritten work.
+      Tensor inputs = Tensor::uninitialized(
+          Shape{total_cells, GridDetector::input_features()});
+      Tensor target_obj = Tensor::uninitialized(Shape{total_cells, 1});
+      Tensor target_boxes = Tensor::uninitialized(Shape{total_cells, 4});
+      Tensor box_mask = Tensor::uninitialized(Shape{total_cells, 4});
       std::size_t row = 0;
       for (std::size_t f = 0; f < frame_inputs.size(); ++f) {
-        const std::size_t cells = frame_inputs[f].rows();
+        const std::size_t cells = frame_inputs[f]->rows();
         for (std::size_t i = 0; i < cells; ++i, ++row) {
-          auto src = frame_inputs[f].row(i);
+          auto src = frame_inputs[f]->row(i);
           std::copy(src.begin(), src.end(), inputs.row(row).begin());
-          target_obj.at(row, 0) = frame_targets[f].objectness.at(i, 0);
+          target_obj.at(row, 0) = frame_targets[f]->objectness.at(i, 0);
           for (std::size_t c = 0; c < 4; ++c) {
-            target_boxes.at(row, c) = frame_targets[f].boxes.at(i, c);
-            box_mask.at(row, c) = frame_targets[f].box_mask.at(i, c);
+            target_boxes.at(row, c) = frame_targets[f]->boxes.at(i, c);
+            box_mask.at(row, c) = frame_targets[f]->box_mask.at(i, c);
           }
         }
       }

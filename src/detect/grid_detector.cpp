@@ -15,17 +15,24 @@ constexpr std::size_t kContextFeatures = 2 * world::kCellChannels;
 
 void write_context(const world::Frame& frame, std::span<float> out) {
   const std::size_t cells = frame.cell_count();
-  for (std::size_t c = 0; c < world::kCellChannels; ++c) {
-    double sum = 0.0;
-    double sum_sq = 0.0;
-    for (std::size_t i = 0; i < cells; ++i) {
-      const float v = frame.cells.at(i, c);
-      sum += v;
-      sum_sq += static_cast<double>(v) * v;
+  const float* cp = frame.cells.data().data();
+  // One row-major sweep instead of a strided column walk per channel;
+  // each channel still accumulates in ascending cell order, so the sums
+  // (and the context features) are bitwise unchanged.
+  double sum[world::kCellChannels] = {};
+  double sum_sq[world::kCellChannels] = {};
+  for (std::size_t i = 0; i < cells; ++i) {
+    const float* cell = cp + i * world::kCellChannels;
+    for (std::size_t c = 0; c < world::kCellChannels; ++c) {
+      const float v = cell[c];
+      sum[c] += v;
+      sum_sq[c] += static_cast<double>(v) * v;
     }
-    const double mean = sum / static_cast<double>(cells);
+  }
+  for (std::size_t c = 0; c < world::kCellChannels; ++c) {
+    const double mean = sum[c] / static_cast<double>(cells);
     const double var =
-        std::max(0.0, sum_sq / static_cast<double>(cells) - mean * mean);
+        std::max(0.0, sum_sq[c] / static_cast<double>(cells) - mean * mean);
     out[c] = static_cast<float>(mean);
     out[world::kCellChannels + c] = static_cast<float>(std::sqrt(var));
   }
@@ -77,17 +84,24 @@ Tensor GridDetector::build_inputs(const world::Frame& frame) {
               "GridDetector::build_inputs: frame cell tensor shape ",
               shape_to_string(frame.cells.shape()), " does not match grid ",
               g, "x", g);
-  Tensor inputs = Tensor::matrix(cells, input_features());
+  // Hot on both the serving and training paths (every infer featurizes
+  // its frame), so the assembly runs on raw row pointers: same values in
+  // the same order as the span-per-cell version, minus the per-access
+  // span construction and index arithmetic. Every element of every row
+  // is written below, so the zero-fill is skipped too.
+  const std::size_t features = input_features();
+  Tensor inputs = Tensor::uninitialized(Shape{cells, features});
   std::vector<float> context(kContextFeatures);
   write_context(frame, context);
+  float* const ip = inputs.data().data();
+  const float* const cp = frame.cells.data().data();
   for (std::size_t y = 0; y < g; ++y) {
     for (std::size_t x = 0; x < g; ++x) {
       const std::size_t i = y * g + x;
-      auto row = inputs.row(i);
-      auto cell = frame.cells.row(i);
-      std::copy(cell.begin(), cell.end(), row.begin());
-      std::copy(context.begin(), context.end(),
-                row.begin() + world::kCellChannels);
+      float* row = ip + i * features;
+      const float* cell = cp + i * world::kCellChannels;
+      std::copy(cell, cell + world::kCellChannels, row);
+      std::copy(context.begin(), context.end(), row + world::kCellChannels);
       row[world::kCellChannels + kContextFeatures] =
           static_cast<float>(x) / static_cast<float>(g);
       row[world::kCellChannels + kContextFeatures + 1] =
@@ -103,8 +117,10 @@ Tensor GridDetector::build_inputs(const world::Frame& frame) {
               ny >= static_cast<int>(g)) {
             continue;
           }
-          auto neighbor = frame.cells.row(static_cast<std::size_t>(ny) * g +
-                                          static_cast<std::size_t>(nx));
+          const float* neighbor =
+              cp + (static_cast<std::size_t>(ny) * g +
+                    static_cast<std::size_t>(nx)) *
+                       world::kCellChannels;
           for (std::size_t c = 0; c < world::kBlockChannels; ++c) {
             neighborhood[c] += neighbor[2 * world::kBlockChannels + c];
           }
@@ -146,12 +162,18 @@ GridDetector::Targets GridDetector::build_targets(const world::Frame& frame) {
 }
 
 std::vector<Detection> GridDetector::detect(const world::Frame& frame) {
+  // Detection never backpropagates (training drives network().forward
+  // directly), so the mutable path just delegates to the const one.
+  return infer(frame);
+}
+
+std::vector<Detection> GridDetector::infer(const world::Frame& frame) const {
   const std::size_t g = frame.grid_size;
   ANOLE_CHECK_EQ(g, grid_size_,
-                 "GridDetector::detect: frame grid does not match the grid "
+                 "GridDetector::infer: frame grid does not match the grid "
                  "this detector was built for");
   Tensor inputs = build_inputs(frame);
-  Tensor outputs = network_->forward(inputs);
+  Tensor outputs = network_->infer(inputs);
   std::vector<Detection> detections;
   for (std::size_t y = 0; y < g; ++y) {
     for (std::size_t x = 0; x < g; ++x) {

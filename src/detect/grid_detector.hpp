@@ -28,6 +28,13 @@ class Detector {
   /// Runs detection on one frame (post NMS).
   virtual std::vector<Detection> detect(const world::Frame& frame) = 0;
 
+  /// Const detection path: identical results to detect(), but guaranteed
+  /// to write no state (it runs the network through nn::Module::infer),
+  /// so concurrent infer() calls on one detector are safe as long as no
+  /// thread mutates the detector concurrently. This is what the engine's
+  /// batch path fans out over frames.
+  virtual std::vector<Detection> infer(const world::Frame& frame) const = 0;
+
   virtual std::string name() const = 0;
 
   /// Per-frame multiply-accumulate cost (drives the device simulator).
@@ -64,6 +71,7 @@ class GridDetector : public Detector {
                std::size_t grid_size = world::kDefaultGridSize);
 
   std::vector<Detection> detect(const world::Frame& frame) override;
+  std::vector<Detection> infer(const world::Frame& frame) const override;
   std::string name() const override { return config_.name; }
   std::uint64_t flops_per_frame() const override;
   std::uint64_t weight_bytes() override;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "tensor/simd.hpp"
 #include "util/check.hpp"
 
 namespace anole::nn {
@@ -30,6 +31,15 @@ Tensor Linear::forward(const Tensor& input) {
   return out;
 }
 
+Tensor Linear::infer(const Tensor& input) const {
+  ANOLE_CHECK(input.rank() == 2 && input.cols() == in_features_,
+              "Linear::infer: expected [batch, ", in_features_, "], got ",
+              shape_to_string(input.shape()));
+  Tensor out = matmul(input, weight_.value);
+  add_row_broadcast(out, bias_.value);
+  return out;
+}
+
 Tensor Linear::backward(const Tensor& grad_output) {
   ANOLE_CHECK(!cached_input_.empty(),
               "Linear::backward before forward");
@@ -51,17 +61,34 @@ std::uint64_t Linear::flops_per_sample() const {
 Tensor ReLU::forward(const Tensor& input) {
   cached_input_ = input;
   last_width_ = input.rank() == 2 ? input.cols() : input.size();
-  Tensor out = input;
-  for (auto& v : out.data()) v = v > 0.0f ? v : 0.0f;
+  // Single pass into an uninitialized output instead of copy-then-clamp:
+  // same values, one fewer sweep over the activation buffer.
+  Tensor out = Tensor::uninitialized(input.shape());
+  auto in = input.data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    o[i] = in[i] > 0.0f ? in[i] : 0.0f;
+  }
+  return out;
+}
+
+Tensor ReLU::infer(const Tensor& input) const {
+  Tensor out = Tensor::uninitialized(input.shape());
+  auto in = input.data();
+  auto o = out.data();
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    o[i] = in[i] > 0.0f ? in[i] : 0.0f;
+  }
   return out;
 }
 
 Tensor ReLU::backward(const Tensor& grad_output) {
-  Tensor grad = grad_output;
+  Tensor grad = Tensor::uninitialized(grad_output.shape());
   auto in = cached_input_.data();
+  auto go = grad_output.data();
   auto g = grad.data();
   for (std::size_t i = 0; i < g.size(); ++i) {
-    if (in[i] <= 0.0f) g[i] = 0.0f;
+    g[i] = in[i] <= 0.0f ? 0.0f : go[i];
   }
   return grad;
 }
@@ -69,6 +96,14 @@ Tensor ReLU::backward(const Tensor& grad_output) {
 Tensor LeakyReLU::forward(const Tensor& input) {
   cached_input_ = input;
   last_width_ = input.rank() == 2 ? input.cols() : input.size();
+  Tensor out = input;
+  for (auto& v : out.data()) {
+    if (v < 0.0f) v *= negative_slope_;
+  }
+  return out;
+}
+
+Tensor LeakyReLU::infer(const Tensor& input) const {
   Tensor out = input;
   for (auto& v : out.data()) {
     if (v < 0.0f) v *= negative_slope_;
@@ -88,9 +123,20 @@ Tensor LeakyReLU::backward(const Tensor& grad_output) {
 
 Tensor Sigmoid::forward(const Tensor& input) {
   last_width_ = input.rank() == 2 ? input.cols() : input.size();
-  Tensor out = input;
-  for (auto& v : out.data()) v = 1.0f / (1.0f + std::exp(-v));
+  // σ through the dispatched transcendental kernel (libm at scalar/SSE2,
+  // polynomial at AVX2 — DESIGN.md §13), written straight into an
+  // uninitialized output.
+  Tensor out = Tensor::uninitialized(input.shape());
+  simd::sigmoid_terms(simd::active_level(), input.data().data(), input.size(),
+                      out.data().data(), nullptr);
   cached_output_ = out;
+  return out;
+}
+
+Tensor Sigmoid::infer(const Tensor& input) const {
+  Tensor out = Tensor::uninitialized(input.shape());
+  simd::sigmoid_terms(simd::active_level(), input.data().data(), input.size(),
+                      out.data().data(), nullptr);
   return out;
 }
 
@@ -107,6 +153,12 @@ Tensor Tanh::forward(const Tensor& input) {
   Tensor out = input;
   for (auto& v : out.data()) v = std::tanh(v);
   cached_output_ = out;
+  return out;
+}
+
+Tensor Tanh::infer(const Tensor& input) const {
+  Tensor out = input;
+  for (auto& v : out.data()) v = std::tanh(v);
   return out;
 }
 
@@ -139,6 +191,11 @@ Tensor Dropout::forward(const Tensor& input) {
     o[i] *= m[i];
   }
   return out;
+}
+
+Tensor Dropout::infer(const Tensor& input) const {
+  // Inverted dropout: inference is a no-op at any rate.
+  return input;
 }
 
 Tensor Dropout::backward(const Tensor& grad_output) {
@@ -179,6 +236,28 @@ Tensor LayerNorm::forward(const Tensor& input) {
     for (std::size_t c = 0; c < features_; ++c) {
       norm_row[c] = (row[c] - m) * inv_std;
       row[c] = norm_row[c] * gain_.value[c] + bias_.value[c];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::infer(const Tensor& input) const {
+  ANOLE_CHECK(input.rank() == 2 && input.cols() == features_,
+              "LayerNorm::infer: expected [batch, ", features_, "], got ",
+              shape_to_string(input.shape()));
+  const std::size_t batch = input.rows();
+  Tensor out = input;
+  for (std::size_t r = 0; r < batch; ++r) {
+    auto row = out.row(r);
+    float m = 0.0f;
+    for (float v : row) m += v;
+    m /= static_cast<float>(features_);
+    float var = 0.0f;
+    for (float v : row) var += (v - m) * (v - m);
+    var /= static_cast<float>(features_);
+    const float inv_std = 1.0f / std::sqrt(var + epsilon_);
+    for (std::size_t c = 0; c < features_; ++c) {
+      row[c] = (row[c] - m) * inv_std * gain_.value[c] + bias_.value[c];
     }
   }
   return out;

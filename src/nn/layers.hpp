@@ -13,6 +13,7 @@ class Linear : public Module {
   Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
 
   Tensor forward(const Tensor& input) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return "Linear"; }
@@ -36,6 +37,7 @@ class Linear : public Module {
 class ReLU : public Module {
  public:
   Tensor forward(const Tensor& input) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "ReLU"; }
   std::uint64_t flops_per_sample() const override { return last_width_; }
@@ -52,6 +54,7 @@ class LeakyReLU : public Module {
       : negative_slope_(negative_slope) {}
 
   Tensor forward(const Tensor& input) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "LeakyReLU"; }
   std::uint64_t flops_per_sample() const override { return last_width_; }
@@ -66,6 +69,7 @@ class LeakyReLU : public Module {
 class Sigmoid : public Module {
  public:
   Tensor forward(const Tensor& input) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "Sigmoid"; }
   std::uint64_t flops_per_sample() const override { return 4 * last_width_; }
@@ -79,6 +83,7 @@ class Sigmoid : public Module {
 class Tanh : public Module {
  public:
   Tensor forward(const Tensor& input) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "Tanh"; }
   std::uint64_t flops_per_sample() const override { return 4 * last_width_; }
@@ -95,6 +100,7 @@ class Dropout : public Module {
   Dropout(float rate, std::uint64_t seed);
 
   Tensor forward(const Tensor& input) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "Dropout"; }
 
@@ -110,6 +116,7 @@ class LayerNorm : public Module {
   explicit LayerNorm(std::size_t features, float epsilon = 1e-5f);
 
   Tensor forward(const Tensor& input) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   std::string name() const override { return "LayerNorm"; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/simd.hpp"
 #include "util/check.hpp"
 
 namespace anole::nn {
@@ -79,21 +80,27 @@ float bce_with_logits(const Tensor& logits, const Tensor& targets,
               shape_to_string(targets.shape()));
   ANOLE_CHECK_GT(positive_weight, 0.0f,
                  "bce_with_logits: positive_weight must be > 0");
-  grad = Tensor(logits.shape());
+  // Every element is written below; skip the zero-fill.
+  grad = Tensor::uninitialized(logits.shape());
   const std::size_t n = logits.size();
   ANOLE_CHECK_GT(n, 0u, "bce_with_logits: empty input");
+  // The transcendental core — σ(z) and log1p(exp(-|z|)) — runs through
+  // the dispatched kernel: scalar/SSE2 evaluate the exact libm
+  // expressions, AVX2 the documented polynomial path (DESIGN.md §13).
+  // σ(z) lands in `grad` and is rescaled to the gradient in place.
+  Tensor log_terms = Tensor::uninitialized(logits.shape());
+  simd::sigmoid_terms(simd::active_level(), logits.data().data(), n,
+                      grad.data().data(), log_terms.data().data());
   double loss = 0.0;
   const float inv_n = 1.0f / static_cast<float>(n);
   for (std::size_t i = 0; i < n; ++i) {
     const float z = logits[i];
     const float t = targets[i];
-    const float p = 1.0f / (1.0f + std::exp(-z));
     const float w = t > 0.5f ? positive_weight : 1.0f;
     // Numerically stable BCE: max(z,0) - z*t + log(1+exp(-|z|)).
-    const float stable =
-        std::max(z, 0.0f) - z * t + std::log1p(std::exp(-std::abs(z)));
+    const float stable = std::max(z, 0.0f) - z * t + log_terms[i];
     loss += static_cast<double>(w * stable);
-    grad[i] = w * (p - t) * inv_n;
+    grad[i] = w * (grad[i] - t) * inv_n;
   }
   return static_cast<float>(loss / static_cast<double>(n));
 }

@@ -44,6 +44,13 @@ class Module {
   /// Computes the layer output and caches what backward() needs.
   virtual Tensor forward(const Tensor& input) = 0;
 
+  /// Inference-only forward: the same arithmetic as forward() in eval
+  /// mode (Dropout is a pass-through regardless of the training flag),
+  /// but const — no backward caches or statistics are written, so
+  /// concurrent infer() calls on one module from multiple threads are
+  /// safe as long as no thread mutates the module concurrently.
+  virtual Tensor infer(const Tensor& input) const = 0;
+
   /// Propagates `grad_output` (same shape as the last forward output),
   /// accumulates parameter gradients, and returns the input gradient.
   virtual Tensor backward(const Tensor& grad_output) = 0;

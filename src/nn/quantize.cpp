@@ -40,6 +40,12 @@ Tensor QuantizedLinear::forward(const Tensor& input) {
   return qgemm(input, weights_, bias_.data());
 }
 
+Tensor QuantizedLinear::infer(const Tensor& input) const {
+  // The layer is stateless at inference; forward() already writes no
+  // caches, so the const path is the same call.
+  return qgemm(input, weights_, bias_.data());
+}
+
 Tensor QuantizedLinear::backward(const Tensor& grad_output) {
   (void)grad_output;
   ANOLE_CHECK(false, "QuantizedLinear::backward: quantized layers are "

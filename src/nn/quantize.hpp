@@ -39,6 +39,7 @@ class QuantizedLinear : public Module {
   QuantizedLinear(QuantizedMatrix weights, Tensor bias);
 
   Tensor forward(const Tensor& input) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "QuantizedLinear"; }
   /// Same MAC count as the fp32 layer: quantization changes the cost per

@@ -24,6 +24,12 @@ Tensor Sequential::forward(const Tensor& input) {
   return current;
 }
 
+Tensor Sequential::infer(const Tensor& input) const {
+  Tensor current = input;
+  for (const auto& module : modules_) current = module->infer(current);
+  return current;
+}
+
 Tensor Sequential::backward(const Tensor& grad_output) {
   Tensor current = grad_output;
   for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {

@@ -23,6 +23,7 @@ class Sequential : public Module {
   }
 
   Tensor forward(const Tensor& input) override;
+  Tensor infer(const Tensor& input) const override;
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Parameter*> parameters() override;
   void set_training(bool training) override;

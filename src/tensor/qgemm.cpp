@@ -1,30 +1,20 @@
 #include "tensor/qgemm.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <cstring>
 #include <memory>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
+#include "tensor/simd.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace anole {
 namespace {
 
-/// Rows of the output per parallel chunk (matches the fp32 kernels).
+/// Rows of the output per parallel chunk (floor; matches the fp32
+/// kernels, and the work-derived grain can only coarsen it).
 constexpr std::size_t kRowGrain = 16;
-/// Output channels per cache block: a 64-row panel of int16 weights (a
-/// few KiB at this codebase's layer depths) plus the matching output
-/// segment stays L1-resident while a chunk's rows stream through it.
-constexpr std::size_t kChannelBlock = 64;
-/// The int16 execution copy pads the depth to a multiple of this so the
-/// vectorized dot product has no scalar tail.
-constexpr std::size_t kDepthPad = 8;
 /// int32 accumulation of depth * 127 * 127 must not overflow; every
 /// network in this codebase has depth < 100, so this is pure headroom.
 constexpr std::size_t kMaxDepth = std::size_t{1} << 17;
@@ -32,7 +22,8 @@ constexpr std::size_t kMaxDepth = std::size_t{1} << 17;
 float snap_to_half(float value) { return half_to_float(float_to_half(value)); }
 
 std::size_t pad_depth(std::size_t depth) {
-  return (depth + kDepthPad - 1) / kDepthPad * kDepthPad;
+  return (depth + simd::kQgemmDepthMultiple - 1) / simd::kQgemmDepthMultiple *
+         simd::kQgemmDepthMultiple;
 }
 
 /// Symmetric int8 code for `value / scale`: round-to-nearest-even (the
@@ -49,68 +40,6 @@ std::int32_t quantize_value(float value, float inv_scale) {
 float row_scale(float abs_max) {
   float scale = abs_max > 0.0f ? abs_max / 127.0f : 1.0f;
   if (!(scale > 0.0f) || !std::isfinite(scale)) scale = 1.0f;
-  return scale;
-}
-
-/// Quantizes one fp32 row into the padded int16 execution layout (same
-/// codes as quantize_row_int8; the wider type feeds the pmaddwd idiom).
-/// This is the per-call hot path — it runs on every activation row of
-/// every quantized layer — so x86 gets explicit SSE2 (always present on
-/// x86-64; the compiler leaves both the float abs-max reduction and the
-/// float->int16 narrowing conversion scalar at baseline -O3).
-float quantize_row_int16(std::span<const float> src, std::int16_t* dst,
-                         std::size_t padded) {
-  const std::size_t n = src.size();
-#if defined(__SSE2__)
-  const __m128 abs_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7FFFFFFF));
-  __m128 vmax = _mm_setzero_ps();
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    vmax = _mm_max_ps(vmax, _mm_and_ps(_mm_loadu_ps(src.data() + i),
-                                       abs_mask));
-  }
-  __m128 fold = _mm_max_ps(vmax, _mm_shuffle_ps(vmax, vmax, 0x4E));
-  fold = _mm_max_ps(fold, _mm_shuffle_ps(fold, fold, 0xB1));
-  float abs_max = _mm_cvtss_f32(fold);
-  for (; i < n; ++i) abs_max = std::max(abs_max, std::fabs(src[i]));
-  const float scale = row_scale(abs_max);
-  const float inv_scale = 1.0f / scale;
-  const __m128 vinv = _mm_set1_ps(inv_scale);
-  const __m128 vlo = _mm_set1_ps(-127.0f);
-  const __m128 vhi = _mm_set1_ps(127.0f);
-  i = 0;
-  for (; i + 8 <= n; i += 8) {
-    const __m128 a = _mm_min_ps(
-        _mm_max_ps(_mm_mul_ps(_mm_loadu_ps(src.data() + i), vinv), vlo),
-        vhi);
-    const __m128 b = _mm_min_ps(
-        _mm_max_ps(_mm_mul_ps(_mm_loadu_ps(src.data() + i + 4), vinv), vlo),
-        vhi);
-    // cvtps2dq rounds to nearest-even (default MXCSR), matching
-    // quantize_value; the saturating pack cannot clip after the clamp.
-    const __m128i packed =
-        _mm_packs_epi32(_mm_cvtps_epi32(a), _mm_cvtps_epi32(b));
-    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), packed);
-  }
-  for (; i < n; ++i) {
-    dst[i] = static_cast<std::int16_t>(quantize_value(src[i], inv_scale));
-  }
-#else
-  // Portable fallback: bit-pattern abs-max (integer max-reductions
-  // vectorize where float ones do not; for finite floats the order is
-  // identical), then the shared scalar quantizer.
-  std::int32_t max_bits = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    max_bits = std::max(
-        max_bits, std::bit_cast<std::int32_t>(src[i]) & 0x7FFFFFFF);
-  }
-  const float scale = row_scale(std::bit_cast<float>(max_bits));
-  const float inv_scale = 1.0f / scale;
-  for (std::size_t i = 0; i < n; ++i) {
-    dst[i] = static_cast<std::int16_t>(quantize_value(src[i], inv_scale));
-  }
-#endif
-  std::fill(dst + n, dst + padded, std::int16_t{0});
   return scale;
 }
 
@@ -293,109 +222,32 @@ Tensor qgemm(const Tensor& x, const QuantizedMatrix& weights,
 
   // One parallel pass: each chunk quantizes its own activation rows into
   // the padded int16 layout (rows are disjoint, so any thread
-  // decomposition yields identical codes), then runs the blocked dot
-  // kernel with fused dequant (+ bias) over them while they are still
-  // L1-hot. Two output channels per iteration share the streamed x row;
-  // the int32 accumulation is exact, so the result is independent of
-  // blocking, unrolling, and thread count by construction.
+  // decomposition yields identical codes), then runs the dispatched
+  // blocked dot kernel (tensor/simd.cpp) with fused dequant (+ bias) over
+  // them while they are still L1-hot. The int32 accumulation is exact, so
+  // the result is independent of blocking, unrolling, thread count, and
+  // dispatch level by construction.
   // for_overwrite: every slot (including depth padding) is written by
-  // quantize_row_int16 before the kernel reads it, so value-initializing
-  // ~m*kp*2 bytes here would be pure memset overhead on the hot path.
+  // simd::quantize_row_int16 before the kernel reads it, so value-
+  // initializing ~m*kp*2 bytes here would be pure memset overhead.
   const auto xq = std::make_unique_for_overwrite<std::int16_t[]>(m * kp);
   const auto xscale = std::make_unique_for_overwrite<float[]>(m);
-  par::parallel_for_chunks(0, m, kRowGrain, [&](std::size_t ilo,
-                                                std::size_t ihi) {
-    std::int16_t* const qbase = xq.get();
-    float* const sbase = xscale.get();
-    const std::int16_t* const pw = weights.exec.data();
-    const float* const pscale = weights.scales.data();
-    const float* const pbias = bias.empty() ? nullptr : bias.data();
-    float* const py = y.data().data();
-    for (std::size_t i = ilo; i < ihi; ++i) {
-      sbase[i] = quantize_row_int16(x.row(i), qbase + i * kp, kp);
-    }
-    for (std::size_t jb = 0; jb < n; jb += kChannelBlock) {
-      const std::size_t jhi = std::min(n, jb + kChannelBlock);
-      for (std::size_t i = ilo; i < ihi; ++i) {
-        const std::int16_t* xrow = qbase + i * kp;
-        const float row_scale = sbase[i];
-        float* yrow = py + i * n;
-        std::size_t j = jb;
-#if defined(__SSE2__)
-        // Four output channels per iteration: each 128-bit x load feeds
-        // four pmaddwd accumulators, and one unpack tree reduces all four
-        // at once (amortizing the horizontal fold that dominates short-
-        // depth epilogues). The dequant matches the scalar formula
-        // exactly: cvtdq2ps == static_cast<float>(int32), and the scale
-        // product rounds once per lane just like (row_scale * pscale[j]).
-        const __m128 vrs = _mm_set1_ps(row_scale);
-        for (; j + 4 <= jhi; j += 4) {
-          const std::int16_t* w0 = pw + j * kp;
-          const std::int16_t* w1 = w0 + kp;
-          const std::int16_t* w2 = w1 + kp;
-          const std::int16_t* w3 = w2 + kp;
-          __m128i a0 = _mm_setzero_si128();
-          __m128i a1 = _mm_setzero_si128();
-          __m128i a2 = _mm_setzero_si128();
-          __m128i a3 = _mm_setzero_si128();
-          for (std::size_t kk = 0; kk < kp; kk += 8) {
-            const __m128i xv = _mm_loadu_si128(
-                reinterpret_cast<const __m128i*>(xrow + kk));
-            a0 = _mm_add_epi32(a0, _mm_madd_epi16(xv, _mm_loadu_si128(
-                reinterpret_cast<const __m128i*>(w0 + kk))));
-            a1 = _mm_add_epi32(a1, _mm_madd_epi16(xv, _mm_loadu_si128(
-                reinterpret_cast<const __m128i*>(w1 + kk))));
-            a2 = _mm_add_epi32(a2, _mm_madd_epi16(xv, _mm_loadu_si128(
-                reinterpret_cast<const __m128i*>(w2 + kk))));
-            a3 = _mm_add_epi32(a3, _mm_madd_epi16(xv, _mm_loadu_si128(
-                reinterpret_cast<const __m128i*>(w3 + kk))));
-          }
-          const __m128i t01 = _mm_add_epi32(_mm_unpacklo_epi32(a0, a1),
-                                            _mm_unpackhi_epi32(a0, a1));
-          const __m128i t23 = _mm_add_epi32(_mm_unpacklo_epi32(a2, a3),
-                                            _mm_unpackhi_epi32(a2, a3));
-          const __m128i sums = _mm_add_epi32(
-              _mm_unpacklo_epi64(t01, t23), _mm_unpackhi_epi64(t01, t23));
-          const __m128 scaled = _mm_mul_ps(
-              _mm_cvtepi32_ps(sums),
-              _mm_mul_ps(vrs, _mm_loadu_ps(pscale + j)));
-          const __m128 out = pbias == nullptr
-              ? scaled
-              : _mm_add_ps(scaled, _mm_loadu_ps(pbias + j));
-          _mm_storeu_ps(yrow + j, out);
+  const simd::Level level = simd::active_level();
+  const std::size_t work_per_row = kp * n;
+  par::parallel_for_chunks(
+      0, m, par::work_grain(kRowGrain, work_per_row), work_per_row,
+      [&](std::size_t ilo, std::size_t ihi) {
+        std::int16_t* const qbase = xq.get();
+        float* const sbase = xscale.get();
+        for (std::size_t i = ilo; i < ihi; ++i) {
+          sbase[i] =
+              simd::quantize_row_int16(level, x.row(i), qbase + i * kp, kp);
         }
-#else
-        for (; j + 1 < jhi; j += 2) {
-          const std::int16_t* w0 = pw + j * kp;
-          const std::int16_t* w1 = w0 + kp;
-          std::int32_t acc0 = 0;
-          std::int32_t acc1 = 0;
-          for (std::size_t kk = 0; kk < kp; ++kk) {
-            const std::int32_t xv = xrow[kk];
-            acc0 += xv * w0[kk];
-            acc1 += xv * w1[kk];
-          }
-          const float v0 =
-              static_cast<float>(acc0) * (row_scale * pscale[j]);
-          const float v1 =
-              static_cast<float>(acc1) * (row_scale * pscale[j + 1]);
-          yrow[j] = pbias == nullptr ? v0 : v0 + pbias[j];
-          yrow[j + 1] = pbias == nullptr ? v1 : v1 + pbias[j + 1];
-        }
-#endif
-        for (; j < jhi; ++j) {
-          const std::int16_t* w0 = pw + j * kp;
-          std::int32_t acc = 0;
-          for (std::size_t kk = 0; kk < kp; ++kk) {
-            acc += static_cast<std::int32_t>(xrow[kk]) * w0[kk];
-          }
-          const float value =
-              static_cast<float>(acc) * (row_scale * pscale[j]);
-          yrow[j] = pbias == nullptr ? value : value + pbias[j];
-        }
-      }
-    }
-  });
+        simd::qgemm_rows(level, ilo, ihi, n, kp, qbase, sbase,
+                         weights.exec.data(), weights.scales.data(),
+                         bias.empty() ? nullptr : bias.data(),
+                         y.data().data());
+      });
   return y;
 }
 

@@ -13,8 +13,9 @@
 // Determinism: the int32 accumulation is exact, so it is associative and
 // independent of any blocking or thread decomposition; the fused dequant
 // is one fp operation per output element. Every entry point here is
-// therefore bitwise reproducible at any thread count — a strictly easier
-// contract than the fp32 kernels' ordered-combine discipline.
+// therefore bitwise reproducible at any thread count AND at any SIMD
+// dispatch level (tensor/simd.hpp) — a strictly easier contract than the
+// fp32 kernels' ordered-combine discipline.
 #pragma once
 
 #include <cstdint>
@@ -39,11 +40,11 @@ float half_to_float(std::uint16_t half);
 ///
 /// `data` + `scales` are the wire state (what artifact v3 stores). The
 /// kernel itself runs from `exec`, a derived int16 copy padded to a
-/// multiple of 8 columns: int16 operands let the compiler use the
-/// multiply-add-pairs idiom (pmaddwd on x86, 8 MACs per instruction at
-/// baseline SSE2 — double the fp32 rate), and the zero padding removes
-/// the scalar tail of the vectorized dot. Call prepare() after filling
-/// the wire fields; qgemm() requires it.
+/// multiple of simd::kQgemmDepthMultiple columns: int16 operands feed the
+/// multiply-add-pairs idiom (pmaddwd, 8 MACs per instruction at baseline
+/// SSE2 and 16 at AVX2 — double the fp32 rate), and the zero padding
+/// removes the scalar tail of the widest vectorized dot. Call prepare()
+/// after filling the wire fields; qgemm() requires it.
 struct QuantizedMatrix {
   std::size_t channels = 0;  ///< output channels (rows of `data`)
   std::size_t depth = 0;     ///< reduction length (columns of `data`)

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/simd.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 
@@ -24,19 +25,12 @@ void require_same_shape(const Tensor& a, const Tensor& b,
               shape_to_string(b.shape()));
 }
 
-// Cache blocking for the accumulating matmul kernels: a kJBlock-float
-// segment of the B and C rows (1 KiB) stays in L1 while a kKBlock-row
-// panel of B is reused across every row of a thread's chunk. Accumulation
-// over kk stays in ascending order for every output element, so blocking
-// and row-parallelism never change results.
-constexpr std::size_t kJBlock = 256;
-constexpr std::size_t kKBlock = 64;
-/// Rows of C per parallel chunk.
+/// Rows of C per parallel chunk (floor; the work-derived grain can only
+/// coarsen it).
 constexpr std::size_t kRowGrain = 16;
-/// Elementwise ops: parallel grain and the size below which the pool
-/// dispatch overhead is not worth paying.
+/// Elementwise ops: parallel grain (the serial cutoff in util/parallel
+/// keeps small tensors off the pool).
 constexpr std::size_t kElemGrain = 16384;
-constexpr std::size_t kElemParallelMin = 32768;
 /// Whole-tensor reductions always use this fixed grain — the chunked
 /// combine order is part of the numeric result, so it must not depend on
 /// tensor size heuristics or the thread count.
@@ -44,46 +38,31 @@ constexpr std::size_t kReduceGrain = 4096;
 
 template <typename Fn>
 void for_each_index(std::size_t n, Fn&& fn) {
-  if (n < kElemParallelMin) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  par::parallel_for(0, n, kElemGrain, std::forward<Fn>(fn));
+  par::parallel_for(0, n, kElemGrain, 1, std::forward<Fn>(fn));
 }
 
-// The shared cache-blocked accumulate kernel behind all three matmul entry
-// points: C = A' B with A' read through `load_a(i, kk)` (contiguous for
+// The shared row-parallel GEMM driver behind all three matmul entry
+// points: C = A' B with A' read as pa[i*ars + kk*acs] (contiguous for
 // matmul, stride-m for matmul_transpose_a; matmul_transpose_b materializes
-// B^T once and then uses the contiguous loader). B rows and C rows are
-// contiguous; each C row is produced entirely by one chunk with kk
-// ascending, so blocking and row-parallelism never change results.
-template <typename LoadA>
-void blocked_accumulate_gemm(std::size_t m, std::size_t k, std::size_t n,
-                             LoadA load_a, const float* pb, float* pc) {
-  par::parallel_for_chunks(0, m, kRowGrain, [&](std::size_t ilo,
-                                                std::size_t ihi) {
-    if (k == 0) {
-      // The kb loop below never runs, so the zero-fill must happen here.
-      std::fill(pc + ilo * n, pc + ihi * n, 0.0f);
-      return;
-    }
-    for (std::size_t jb = 0; jb < n; jb += kJBlock) {
-      const std::size_t jhi = std::min(n, jb + kJBlock);
-      for (std::size_t kb = 0; kb < k; kb += kKBlock) {
-        const std::size_t khi = std::min(k, kb + kKBlock);
-        for (std::size_t i = ilo; i < ihi; ++i) {
-          float* crow = pc + i * n;
-          if (kb == 0) std::fill(crow + jb, crow + jhi, 0.0f);
-          for (std::size_t kk = kb; kk < khi; ++kk) {
-            const float aik = load_a(i, kk);
-            if (aik == 0.0f) continue;
-            const float* brow = pb + kk * n;
-            for (std::size_t j = jb; j < jhi; ++j) crow[j] += aik * brow[j];
-          }
+// B^T once and then uses the contiguous strides). The cache-blocked inner
+// kernel lives in tensor/simd.cpp and is dispatched once per call; each C
+// row is produced entirely by one chunk with kk ascending, so blocking
+// and row-parallelism never change results at a fixed dispatch level.
+void dispatched_gemm(std::size_t m, std::size_t k, std::size_t n,
+                     const float* pa, std::size_t ars, std::size_t acs,
+                     const float* pb, float* pc) {
+  const simd::Level level = simd::active_level();
+  const std::size_t work_per_row = k * n;
+  par::parallel_for_chunks(
+      0, m, par::work_grain(kRowGrain, work_per_row), work_per_row,
+      [&](std::size_t ilo, std::size_t ihi) {
+        if (k == 0) {
+          // The kernel's depth loop never runs, so zero-fill here.
+          std::fill(pc + ilo * n, pc + ihi * n, 0.0f);
+          return;
         }
-      }
-    }
-  });
+        simd::gemm_rows(level, ilo, ihi, k, n, pa, ars, acs, pb, pc);
+      });
 }
 
 }  // namespace
@@ -220,7 +199,7 @@ void Tensor::add_scaled(const Tensor& other, float scale) {
 
 float Tensor::sum() const {
   return par::parallel_reduce(
-      std::size_t{0}, data_.size(), kReduceGrain, 0.0f,
+      std::size_t{0}, data_.size(), kReduceGrain, 1, 0.0f,
       [&](std::size_t lo, std::size_t hi) {
         float partial = 0.0f;
         for (std::size_t i = lo; i < hi; ++i) partial += data_[i];
@@ -236,7 +215,7 @@ float Tensor::mean() const {
 
 float Tensor::abs_max() const {
   return par::parallel_reduce(
-      std::size_t{0}, data_.size(), kReduceGrain, 0.0f,
+      std::size_t{0}, data_.size(), kReduceGrain, 1, 0.0f,
       [&](std::size_t lo, std::size_t hi) {
         float partial = 0.0f;
         for (std::size_t i = lo; i < hi; ++i) {
@@ -249,7 +228,7 @@ float Tensor::abs_max() const {
 
 float Tensor::l2_norm() const {
   const double sum_sq = par::parallel_reduce(
-      std::size_t{0}, data_.size(), kReduceGrain, 0.0,
+      std::size_t{0}, data_.size(), kReduceGrain, 1, 0.0,
       [&](std::size_t lo, std::size_t hi) {
         double partial = 0.0;
         for (std::size_t i = lo; i < hi; ++i) {
@@ -282,11 +261,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const std::size_t k = a.cols();
   const std::size_t n = b.cols();
   Tensor c = Tensor::uninitialized(Shape{m, n});
-  const float* pa = a.data().data();
-  blocked_accumulate_gemm(
-      m, k, n,
-      [pa, k](std::size_t i, std::size_t kk) { return pa[i * k + kk]; },
-      b.data().data(), c.data().data());
+  dispatched_gemm(m, k, n, a.data().data(), k, 1, b.data().data(),
+                  c.data().data());
   return c;
 }
 
@@ -301,13 +277,10 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.cols();
   const std::size_t n = b.cols();
   Tensor c = Tensor::uninitialized(Shape{m, n});
-  // A is read with stride m; the kk blocking in the shared kernel keeps
-  // the touched A elements and the B panel resident.
-  const float* pa = a.data().data();
-  blocked_accumulate_gemm(
-      m, k, n,
-      [pa, m](std::size_t i, std::size_t kk) { return pa[kk * m + i]; },
-      b.data().data(), c.data().data());
+  // A is read with column stride m; the kk blocking in the shared kernel
+  // keeps the touched A elements and the B panel resident.
+  dispatched_gemm(m, k, n, a.data().data(), 1, m, b.data().data(),
+                  c.data().data());
   return c;
 }
 
@@ -327,11 +300,8 @@ Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   // operands. Accumulation is kk-ascending per output element, exactly as
   // in the other entry points.
   const Tensor bt = transpose(b);
-  const float* pa = a.data().data();
-  blocked_accumulate_gemm(
-      m, k, n,
-      [pa, k](std::size_t i, std::size_t kk) { return pa[i * k + kk]; },
-      bt.data().data(), c.data().data());
+  dispatched_gemm(m, k, n, a.data().data(), k, 1, bt.data().data(),
+                  c.data().data());
   return c;
 }
 
@@ -361,7 +331,8 @@ void add_row_broadcast(Tensor& matrix, const Tensor& row_vector) {
               "add_row_broadcast: bias shape mismatch ",
               shape_to_string(row_vector.shape()), " for matrix ",
               shape_to_string(matrix.shape()));
-  par::parallel_for(0, matrix.rows(), kRowGrain, [&](std::size_t r) {
+  par::parallel_for(0, matrix.rows(), kRowGrain, matrix.cols(),
+                    [&](std::size_t r) {
     auto row = matrix.row(r);
     for (std::size_t c = 0; c < row.size(); ++c) row[c] += row_vector[c];
   });
@@ -383,7 +354,8 @@ Tensor sum_rows(const Tensor& matrix) {
 Tensor transpose(const Tensor& matrix) {
   ANOLE_CHECK_EQ(matrix.rank(), 2u, "transpose: rank != 2");
   Tensor out = Tensor::uninitialized(Shape{matrix.cols(), matrix.rows()});
-  par::parallel_for(0, matrix.rows(), kRowGrain, [&](std::size_t r) {
+  par::parallel_for(0, matrix.rows(), kRowGrain, matrix.cols(),
+                    [&](std::size_t r) {
     for (std::size_t c = 0; c < matrix.cols(); ++c) {
       out.at(c, r) = matrix.at(r, c);
     }

@@ -1,5 +1,6 @@
 #include "util/fault.hpp"
 
+#include <atomic>
 #include <cstdlib>
 
 #include "util/check.hpp"
@@ -32,7 +33,20 @@ double parse_double(std::string_view text, std::string_view what) {
   return value;
 }
 
+/// Process-wide trace-context tag (see fault.hpp). Relaxed atomics: the
+/// tag is set once during dispatch-level resolution, long before any
+/// trace is hashed, and hashing re-reads it under the injector mutex.
+std::atomic<std::uint64_t> g_trace_context{0};
+
 }  // namespace
+
+void set_trace_context(std::uint64_t tag) {
+  g_trace_context.store(tag, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_context() {
+  return g_trace_context.load(std::memory_order_relaxed);
+}
 
 const char* to_string(Site site) { return kSiteNames[site_index(site)]; }
 
@@ -201,6 +215,9 @@ std::uint64_t FaultInjector::trace_hash() const {
       hash *= 0x100000001B3ULL;
     }
   };
+  // The execution-context tag (active SIMD level) seeds the hash so a
+  // replay on a different kernel path cannot alias a matching schedule.
+  mix(trace_context());
   for (const FaultEvent& event : trace_) {
     mix(static_cast<std::uint64_t>(event.site));
     mix(event.check_index);

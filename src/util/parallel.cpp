@@ -29,6 +29,22 @@ std::size_t env_or_hardware_threads() {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+/// Default serial cutoff: ~128k scalar ops. Pool wake/steal costs a few
+/// microseconds; a loop this size finishes in roughly that time on one
+/// core, so below it the pool can only lose.
+constexpr std::size_t kDefaultSerialCutoff = std::size_t{1} << 17;
+
+std::size_t env_serial_cutoff() {
+  if (const char* env = std::getenv("ANOLE_SERIAL_CUTOFF")) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') {
+      return static_cast<std::size_t>(value);
+    }
+  }
+  return kDefaultSerialCutoff;
+}
+
 /// State of one run_chunks invocation. Heap-allocated and shared with the
 /// workers so a worker that wakes late (after the job completed and a new
 /// one started) still drains its own, exhausted, counter instead of the
@@ -85,7 +101,15 @@ class Pool {
       spawn_workers_locked();
       current_job_ = job;
       ++generation_;
-      work_cv_.notify_all();
+      // The caller drains too, so at most chunks - 1 workers can find a
+      // chunk; waking the rest of a large pool for a small job is pure
+      // scheduler churn.
+      const std::size_t useful = std::min(chunks - 1, workers_.size());
+      if (useful == workers_.size()) {
+        work_cv_.notify_all();
+      } else {
+        for (std::size_t w = 0; w < useful; ++w) work_cv_.notify_one();
+      }
     }
 
     // The caller participates in draining the chunk counter.
@@ -189,6 +213,11 @@ void set_thread_count(std::size_t count) {
 }
 
 bool in_parallel_region() { return t_in_task; }
+
+std::size_t serial_cutoff() {
+  static const std::size_t cutoff = env_serial_cutoff();
+  return cutoff;
+}
 
 namespace detail {
 

@@ -14,6 +14,18 @@
 // the pool has 1 thread or 64. Nested calls from inside a pool worker run
 // inline (serially) with the same chunk boundaries, so nesting cannot
 // change results either — it only limits extra parallelism.
+//
+// Serial cutoff: waking the pool costs a few microseconds of cross-thread
+// signalling — more than an entire small GEMM at this codebase's layer
+// shapes. Call sites that can estimate their per-index cost pass a
+// `work_per_index` hint (approximate scalar operations per index); when
+// (end - begin) * work_per_index falls below `serial_cutoff()`
+// (ANOLE_SERIAL_CUTOFF, default 128k work units) the loop runs inline on
+// the calling thread with the exact same chunk boundaries, so the cutoff
+// can never change results — it only skips the pool. Overloads without a
+// hint always use the pool (the caller signalled nothing about cost, and
+// a coarse loop of 5 heavy items must not be serialized by an
+// element-count heuristic).
 #pragma once
 
 #include <algorithm>
@@ -34,6 +46,37 @@ void set_thread_count(std::size_t count);
 
 /// True when the calling thread is a pool worker executing a task.
 bool in_parallel_region();
+
+/// Work units (approximate scalar ops) below which the hinted overloads
+/// run inline. From ANOLE_SERIAL_CUTOFF at first use (default 1 << 17);
+/// fixed for the process, so inline decisions never depend on runtime
+/// state.
+std::size_t serial_cutoff();
+
+namespace detail {
+
+/// Sentinel hint for the unhinted overloads: never below the cutoff.
+inline constexpr std::size_t kNoWorkHint = ~std::size_t{0};
+
+/// True when n indexes at `work_per_index` ops each fall below the serial
+/// cutoff (exact n * work_per_index < cutoff, overflow-safe).
+inline bool below_serial_cutoff(std::size_t n, std::size_t work_per_index) {
+  if (n == 0) return true;
+  const std::size_t cutoff = serial_cutoff();
+  const std::size_t wpi = work_per_index == 0 ? 1 : work_per_index;
+  if (wpi > cutoff / n) return false;
+  return n * wpi < cutoff;
+}
+
+}  // namespace detail
+
+/// Grain giving each chunk at least `serial_cutoff()` work units (never
+/// below `base`). A function of the per-index cost only — independent of
+/// range size and thread count — so chunk boundaries stay deterministic.
+inline std::size_t work_grain(std::size_t base, std::size_t work_per_index) {
+  const std::size_t wpi = work_per_index == 0 ? 1 : work_per_index;
+  return std::max(base, serial_cutoff() / wpi);
+}
 
 namespace detail {
 
@@ -60,14 +103,18 @@ inline std::size_t default_grain(std::size_t begin, std::size_t end) {
 }  // namespace detail
 
 /// Calls fn(i) for every i in [begin, end), split into grain-sized chunks
-/// executed across the pool. fn must write only per-index (disjoint) state.
+/// executed across the pool. fn must write only per-index (disjoint)
+/// state. `work_per_index` is the serial-cutoff hint (approximate scalar
+/// ops per index); small totals run inline with identical chunking.
 template <typename Fn>
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
-                  Fn&& fn) {
+                  std::size_t work_per_index, Fn&& fn) {
   const std::size_t g = grain == 0 ? 1 : grain;
   const std::size_t chunks = detail::chunk_count(begin, end, g);
   if (chunks == 0) return;
-  if (chunks == 1 || thread_count() == 1 || in_parallel_region()) {
+  if (chunks == 1 || thread_count() == 1 || in_parallel_region() ||
+      (work_per_index != detail::kNoWorkHint &&
+       detail::below_serial_cutoff(end - begin, work_per_index))) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -76,6 +123,14 @@ void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
     const std::size_t hi = std::min(end, lo + g);
     for (std::size_t i = lo; i < hi; ++i) fn(i);
   });
+}
+
+/// parallel_for without a work hint: always eligible for the pool.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Fn&& fn) {
+  parallel_for(begin, end, grain, detail::kNoWorkHint,
+               std::forward<Fn>(fn));
 }
 
 /// parallel_for with an automatic (range-size-derived) grain.
@@ -87,13 +142,17 @@ void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
 
 /// Calls fn(lo, hi) once per chunk; chunk boundaries are the same as
 /// parallel_for's. Useful when per-chunk setup is expensive.
+/// `work_per_index` is the serial-cutoff hint.
 template <typename Fn>
 void parallel_for_chunks(std::size_t begin, std::size_t end,
-                         std::size_t grain, Fn&& fn) {
+                         std::size_t grain, std::size_t work_per_index,
+                         Fn&& fn) {
   const std::size_t g = grain == 0 ? 1 : grain;
   const std::size_t chunks = detail::chunk_count(begin, end, g);
   if (chunks == 0) return;
-  if (chunks == 1 || thread_count() == 1 || in_parallel_region()) {
+  if (chunks == 1 || thread_count() == 1 || in_parallel_region() ||
+      (work_per_index != detail::kNoWorkHint &&
+       detail::below_serial_cutoff(end - begin, work_per_index))) {
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t lo = begin + c * g;
       fn(lo, std::min(end, lo + g));
@@ -106,19 +165,31 @@ void parallel_for_chunks(std::size_t begin, std::size_t end,
   });
 }
 
+/// parallel_for_chunks without a work hint: always eligible for the pool.
+template <typename Fn>
+void parallel_for_chunks(std::size_t begin, std::size_t end,
+                         std::size_t grain, Fn&& fn) {
+  parallel_for_chunks(begin, end, grain, detail::kNoWorkHint,
+                      std::forward<Fn>(fn));
+}
+
 /// Deterministic reduction: map_chunk(lo, hi) produces one partial result
 /// per chunk (in parallel); partials are combined with
 /// acc = combine(acc, partial) in ascending chunk order on the calling
 /// thread. Because chunk boundaries depend only on (begin, end, grain) and
 /// the combine order is fixed, the result is bitwise identical at any
-/// thread count — including the serial path, which uses the same chunking.
+/// thread count — including the serial path (and the serial-cutoff path),
+/// which uses the same chunking.
 template <typename T, typename MapFn, typename CombineFn>
 T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
-                  T identity, MapFn&& map_chunk, CombineFn&& combine) {
+                  std::size_t work_per_index, T identity, MapFn&& map_chunk,
+                  CombineFn&& combine) {
   const std::size_t g = grain == 0 ? 1 : grain;
   const std::size_t chunks = detail::chunk_count(begin, end, g);
   if (chunks == 0) return identity;
-  if (chunks == 1 || thread_count() == 1 || in_parallel_region()) {
+  if (chunks == 1 || thread_count() == 1 || in_parallel_region() ||
+      (work_per_index != detail::kNoWorkHint &&
+       detail::below_serial_cutoff(end - begin, work_per_index))) {
     T acc = std::move(identity);
     for (std::size_t c = 0; c < chunks; ++c) {
       const std::size_t lo = begin + c * g;
@@ -136,6 +207,16 @@ T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
     acc = combine(std::move(acc), std::move(partials[c]));
   }
   return acc;
+}
+
+/// parallel_reduce without a work hint: always eligible for the pool.
+template <typename T, typename MapFn, typename CombineFn>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T identity, MapFn&& map_chunk, CombineFn&& combine) {
+  return parallel_reduce(begin, end, grain, detail::kNoWorkHint,
+                         std::move(identity),
+                         std::forward<MapFn>(map_chunk),
+                         std::forward<CombineFn>(combine));
 }
 
 }  // namespace anole::par

@@ -1,0 +1,21 @@
+// no-naked-intrinsics: vendor SIMD headers and _mm*/__m* identifiers
+// are banned outside src/tensor/simd.* — raw intrinsics bypass the
+// ANOLE_SIMD runtime dispatch level.
+#include <immintrin.h>  // FIXTURE: fires
+
+namespace anole::core {
+
+float sums_with_raw_avx(const float* a, const float* b) {
+  __m256 va = _mm256_loadu_ps(a);        // FIXTURE: fires (twice)
+  __m256 vb = _mm256_loadu_ps(b);        // FIXTURE: fires (twice)
+  __m256 sum = _mm256_add_ps(va, vb);    // FIXTURE: fires (twice)
+  float out[8];
+  _mm256_storeu_ps(out, sum);            // FIXTURE: fires
+  return out[0];
+}
+
+float plain_math_is_fine(float x) {
+  return x * 2.0f;  // no finding: no intrinsics
+}
+
+}  // namespace anole::core

@@ -1,0 +1,15 @@
+// no-naked-intrinsics: the src/tensor/simd* prefix is the sanctioned
+// home for vendor intrinsics — nothing here may fire.
+#include <immintrin.h>  // ok: inside the dispatch module
+
+namespace anole::tensor::simd {
+
+float sanctioned_kernel(const float* a, const float* b) {
+  __m128 va = _mm_loadu_ps(a);  // ok
+  __m128 vb = _mm_loadu_ps(b);  // ok
+  float out[4];
+  _mm_storeu_ps(out, _mm_add_ps(va, vb));  // ok
+  return out[0];
+}
+
+}  // namespace anole::tensor::simd

@@ -14,6 +14,7 @@ namespace {
 struct ScalarParam : Module {
   Parameter p{Tensor(Shape{1}, 1.0f)};
   Tensor forward(const Tensor& input) override { return input; }
+  Tensor infer(const Tensor& input) const override { return input; }
   Tensor backward(const Tensor& grad) override { return grad; }
   std::vector<Parameter*> parameters() override { return {&p}; }
   std::string name() const override { return "scalar"; }

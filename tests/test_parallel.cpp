@@ -7,15 +7,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include <thread>
+
 #include "cluster/kmeans.hpp"
 #include "core/profiler.hpp"
+#include "tensor/simd.hpp"
 #include "tensor/tensor.hpp"
 #include "util/log.hpp"
 #include "util/parallel.hpp"
@@ -28,6 +33,24 @@ namespace {
 struct ThreadCountGuard {
   ~ThreadCountGuard() { par::set_thread_count(0); }
 };
+
+/// Pins the SIMD dispatch level for a scope.
+struct SimdLevelGuard {
+  explicit SimdLevelGuard(simd::Level level) { simd::set_level(level); }
+  ~SimdLevelGuard() { simd::reset_level(); }
+};
+
+/// Every dispatch level this host can actually run.
+std::vector<simd::Level> available_levels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::detected_level() >= simd::Level::kSSE2) {
+    levels.push_back(simd::Level::kSSE2);
+  }
+  if (simd::detected_level() >= simd::Level::kAVX2) {
+    levels.push_back(simd::Level::kAVX2);
+  }
+  return levels;
+}
 
 bool bitwise_equal(const Tensor& a, const Tensor& b) {
   if (a.shape() != b.shape()) return false;
@@ -220,6 +243,10 @@ TEST(TensorUninitialized, HasShapeAndAcceptsWrites) {
   EXPECT_EQ(t.at(16, 4), 2.5f);
 }
 
+/// The fp32 dispatch contract (tensor/simd.hpp): scalar and SSE2 match
+/// the mul+add reference bitwise; AVX2 contracts each multiply-add into
+/// an FMA, so it gets an error envelope instead. Every level must be
+/// bitwise identical to itself across thread counts.
 TEST(TensorParallel, MatmulMatchesNaiveBitwiseAtAnyThreadCount) {
   ThreadCountGuard guard;
   Rng rng(7);
@@ -228,13 +255,39 @@ TEST(TensorParallel, MatmulMatchesNaiveBitwiseAtAnyThreadCount) {
   const Tensor b = random_matrix(111, 70, rng);
   const Tensor reference = naive_matmul(a, b);
 
-  par::set_thread_count(1);
-  const Tensor serial = matmul(a, b);
-  par::set_thread_count(4);
-  const Tensor parallel = matmul(a, b);
+  for (const simd::Level level : available_levels()) {
+    SimdLevelGuard simd_guard(level);
+    par::set_thread_count(1);
+    const Tensor serial = matmul(a, b);
+    par::set_thread_count(4);
+    const Tensor parallel = matmul(a, b);
 
-  EXPECT_TRUE(bitwise_equal(serial, reference));
-  EXPECT_TRUE(bitwise_equal(parallel, reference));
+    // Thread-count invariance holds at every level.
+    EXPECT_TRUE(bitwise_equal(serial, parallel))
+        << simd::level_name(level);
+    if (level != simd::Level::kAVX2) {
+      EXPECT_TRUE(bitwise_equal(serial, reference))
+          << simd::level_name(level);
+      continue;
+    }
+    // AVX2 ULP policy: fusing a*b+c drops one rounding per partial sum,
+    // so each output may drift from the reference by at most one extra
+    // rounding per accumulation step: |Δ| ≤ k·ε·Σ|a_ik·b_kj|.
+    constexpr double kEps = 1.1920928955078125e-7;  // 2^-23
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        double abs_sum = 0.0;
+        for (std::size_t kk = 0; kk < a.cols(); ++kk) {
+          abs_sum += std::abs(static_cast<double>(a.at(i, kk)) *
+                              static_cast<double>(b.at(kk, j)));
+        }
+        const double tolerance =
+            static_cast<double>(a.cols()) * kEps * abs_sum + 1e-30;
+        EXPECT_NEAR(serial.at(i, j), reference.at(i, j), tolerance)
+            << "i=" << i << " j=" << j;
+      }
+    }
+  }
 }
 
 TEST(TensorParallel, MatmulTransposeAMatchesNaiveBitwise) {
@@ -244,13 +297,20 @@ TEST(TensorParallel, MatmulTransposeAMatchesNaiveBitwise) {
   const Tensor b = random_matrix(90, 41, rng);
   const Tensor reference = naive_matmul_transpose_a(a, b);
 
-  par::set_thread_count(1);
-  const Tensor serial = matmul_transpose_a(a, b);
-  par::set_thread_count(4);
-  const Tensor parallel = matmul_transpose_a(a, b);
+  for (const simd::Level level : available_levels()) {
+    SimdLevelGuard simd_guard(level);
+    par::set_thread_count(1);
+    const Tensor serial = matmul_transpose_a(a, b);
+    par::set_thread_count(4);
+    const Tensor parallel = matmul_transpose_a(a, b);
 
-  EXPECT_TRUE(bitwise_equal(serial, reference));
-  EXPECT_TRUE(bitwise_equal(parallel, reference));
+    EXPECT_TRUE(bitwise_equal(serial, parallel))
+        << simd::level_name(level);
+    if (level != simd::Level::kAVX2) {
+      EXPECT_TRUE(bitwise_equal(serial, reference))
+          << simd::level_name(level);
+    }
+  }
 }
 
 TEST(TensorParallel, MatmulTransposeBMatchesNaiveBitwise) {
@@ -260,13 +320,20 @@ TEST(TensorParallel, MatmulTransposeBMatchesNaiveBitwise) {
   const Tensor b = random_matrix(52, 65, rng);
   const Tensor reference = naive_matmul_transpose_b(a, b);
 
-  par::set_thread_count(1);
-  const Tensor serial = matmul_transpose_b(a, b);
-  par::set_thread_count(4);
-  const Tensor parallel = matmul_transpose_b(a, b);
+  for (const simd::Level level : available_levels()) {
+    SimdLevelGuard simd_guard(level);
+    par::set_thread_count(1);
+    const Tensor serial = matmul_transpose_b(a, b);
+    par::set_thread_count(4);
+    const Tensor parallel = matmul_transpose_b(a, b);
 
-  EXPECT_TRUE(bitwise_equal(serial, reference));
-  EXPECT_TRUE(bitwise_equal(parallel, reference));
+    EXPECT_TRUE(bitwise_equal(serial, parallel))
+        << simd::level_name(level);
+    if (level != simd::Level::kAVX2) {
+      EXPECT_TRUE(bitwise_equal(serial, reference))
+          << simd::level_name(level);
+    }
+  }
 }
 
 TEST(TensorParallel, ReductionsAreThreadCountInvariant) {
@@ -307,6 +374,199 @@ TEST(KMeansParallel, IdenticalAtOneAndFourThreads) {
   EXPECT_TRUE(bitwise_equal(serial.centroids, parallel.centroids));
   EXPECT_EQ(std::memcmp(&serial.inertia, &parallel.inertia, sizeof(double)),
             0);
+}
+
+TEST(KMeansParallel, IdenticalAtEveryDispatchLevel) {
+  // The distance kernel accumulates each centroid lane in ascending
+  // dimension order with separate mul+add at every level, so the whole
+  // clustering is bitwise level-invariant (tensor/simd.hpp).
+  ThreadCountGuard guard;
+  par::set_thread_count(4);
+  Rng data_rng(21);
+  const Tensor points = random_matrix(300, 24, data_rng);
+  cluster::KMeansConfig config;
+  config.clusters = 6;
+
+  cluster::KMeansResult reference;
+  bool have_reference = false;
+  for (const simd::Level level : available_levels()) {
+    SimdLevelGuard simd_guard(level);
+    Rng rng(321);
+    const auto result = cluster::kmeans(points, config, rng);
+    if (!have_reference) {
+      reference = result;
+      have_reference = true;
+      continue;
+    }
+    EXPECT_EQ(result.assignments, reference.assignments)
+        << simd::level_name(level);
+    EXPECT_EQ(result.iterations, reference.iterations)
+        << simd::level_name(level);
+    EXPECT_TRUE(bitwise_equal(result.centroids, reference.centroids))
+        << simd::level_name(level);
+    EXPECT_EQ(std::memcmp(&result.inertia, &reference.inertia,
+                          sizeof(double)),
+              0)
+        << simd::level_name(level);
+  }
+}
+
+// --- SIMD dispatch plumbing ----------------------------------------------
+
+TEST(SimdDispatch, ActiveLevelNeverExceedsDetected) {
+  EXPECT_LE(simd::active_level(), simd::detected_level());
+  SimdLevelGuard guard(simd::Level::kScalar);
+  EXPECT_EQ(simd::active_level(), simd::Level::kScalar);
+}
+
+TEST(SimdDispatch, SetLevelClampsToDetected) {
+  SimdLevelGuard guard(simd::Level::kAVX2);
+  EXPECT_LE(simd::active_level(), simd::detected_level());
+  EXPECT_EQ(simd::active_level(),
+            std::min(simd::Level::kAVX2, simd::detected_level()));
+}
+
+TEST(SimdDispatch, LevelNamesAreStable) {
+  EXPECT_STREQ(simd::level_name(simd::Level::kScalar), "scalar");
+  EXPECT_STREQ(simd::level_name(simd::Level::kSSE2), "sse2");
+  EXPECT_STREQ(simd::level_name(simd::Level::kAVX2), "avx2");
+}
+
+TEST(SimdDispatch, SigmoidTermsMatchLibmWithinEnvelope) {
+  // Inputs cover both signs, the origin, sigmoid saturation, and the
+  // exp clamp region, plus a pseudo-random spread.
+  std::vector<float> z = {0.0f,  -0.0f, 1e-6f, -1e-6f, 0.5f,  -0.5f,
+                          4.0f,  -4.0f, 17.0f, -17.0f, 30.0f, -30.0f,
+                          88.0f, -88.0f, 95.0f, -95.0f};
+  Rng rng(77);
+  for (int i = 0; i < 240; ++i) {
+    z.push_back(static_cast<float>(rng.normal(0.0, 6.0)));
+  }
+  const std::size_t n = z.size();
+  std::vector<float> p_ref(n);
+  std::vector<float> l_ref(n);
+  simd::sigmoid_terms(simd::Level::kScalar, z.data(), n, p_ref.data(),
+                      l_ref.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    // The scalar level is the exact libm loop.
+    const double zd = static_cast<double>(z[i]);
+    EXPECT_NEAR(p_ref[i], 1.0 / (1.0 + std::exp(-zd)), 1e-6) << z[i];
+    EXPECT_NEAR(l_ref[i], std::log1p(std::exp(-std::abs(zd))), 1e-6) << z[i];
+  }
+  for (const simd::Level level : available_levels()) {
+    std::vector<float> p(n);
+    std::vector<float> l(n);
+    simd::sigmoid_terms(level, z.data(), n, p.data(), l.data());
+    std::vector<float> p_again(n);
+    simd::sigmoid_terms(level, z.data(), n, p_again.data(), nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (level == simd::Level::kAVX2) {
+        // Documented polynomial envelope: a few ULP relative, plus an
+        // absolute floor for the clamped saturation tail.
+        EXPECT_NEAR(p[i], p_ref[i], 1e-6f * std::abs(p_ref[i]) + 2e-7f)
+            << "z=" << z[i];
+        EXPECT_NEAR(l[i], l_ref[i], 1e-5f * std::abs(l_ref[i]) + 1.2e-38f)
+            << "z=" << z[i];
+      } else {
+        // Scalar and SSE2 share the libm path bitwise.
+        EXPECT_EQ(std::memcmp(p.data(), p_ref.data(), n * sizeof(float)), 0);
+        EXPECT_EQ(std::memcmp(l.data(), l_ref.data(), n * sizeof(float)), 0);
+      }
+    }
+    // The sigmoid-only entry point (null log_term) matches, and a
+    // repeated call is bitwise stable at every level.
+    EXPECT_EQ(std::memcmp(p.data(), p_again.data(), n * sizeof(float)), 0)
+        << simd::level_name(level);
+  }
+}
+
+TEST(SimdDispatch, SigmoidTermsSupportInPlace) {
+  std::vector<float> z = {-3.0f, -1.0f, 0.0f, 0.25f, 2.0f, 5.0f, -9.0f};
+  for (const simd::Level level : available_levels()) {
+    std::vector<float> expected(z.size());
+    simd::sigmoid_terms(level, z.data(), z.size(), expected.data(), nullptr);
+    std::vector<float> buf = z;
+    simd::sigmoid_terms(level, buf.data(), buf.size(), buf.data(), nullptr);
+    EXPECT_EQ(
+        std::memcmp(buf.data(), expected.data(), buf.size() * sizeof(float)),
+        0)
+        << simd::level_name(level);
+  }
+}
+
+// --- serial cutoff --------------------------------------------------------
+
+TEST(SerialCutoff, BoundarySemanticsAreExact) {
+  const std::size_t cutoff = par::serial_cutoff();
+  ASSERT_GT(cutoff, 1u);
+  // Strictly-below comparison: n * wpi == cutoff stays parallel.
+  EXPECT_TRUE(par::detail::below_serial_cutoff(cutoff - 1, 1));
+  EXPECT_FALSE(par::detail::below_serial_cutoff(cutoff, 1));
+  EXPECT_FALSE(par::detail::below_serial_cutoff(1, cutoff));
+  EXPECT_TRUE(par::detail::below_serial_cutoff(1, cutoff - 1));
+  // Zero-length ranges are trivially below; zero hints count as 1 op.
+  EXPECT_TRUE(par::detail::below_serial_cutoff(0, 0));
+  EXPECT_EQ(par::detail::below_serial_cutoff(cutoff - 1, 0),
+            par::detail::below_serial_cutoff(cutoff - 1, 1));
+  // Products that would overflow size_t must land on the parallel side.
+  EXPECT_FALSE(par::detail::below_serial_cutoff(
+      std::numeric_limits<std::size_t>::max() / 2, 3));
+  // The sentinel used by unhinted overloads is never below the cutoff.
+  EXPECT_FALSE(par::detail::below_serial_cutoff(1, par::detail::kNoWorkHint));
+}
+
+TEST(SerialCutoff, WorkGrainDerivesFromPerIndexCost) {
+  const std::size_t cutoff = par::serial_cutoff();
+  EXPECT_EQ(par::work_grain(16, 1), std::max<std::size_t>(16, cutoff));
+  EXPECT_EQ(par::work_grain(16, cutoff), 16u);
+  EXPECT_EQ(par::work_grain(16, 0), par::work_grain(16, 1));
+  EXPECT_GE(par::work_grain(1, cutoff / 8), 8u);
+}
+
+TEST(SerialCutoff, HintedLoopBelowCutoffRunsOnCallingThread) {
+  ThreadCountGuard guard;
+  par::set_thread_count(4);
+  const auto caller = std::this_thread::get_id();
+  const std::size_t n = 64;
+  ASSERT_TRUE(par::detail::below_serial_cutoff(n, 1));
+  std::vector<std::remove_const_t<decltype(caller)>> ran_on(n);
+  par::parallel_for(0, n, 4, 1, [&](std::size_t i) {
+    ran_on[i] = std::this_thread::get_id();
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(ran_on[i], caller) << i;
+}
+
+TEST(SerialCutoff, HintedAndUnhintedChunkingMatchBitwise) {
+  ThreadCountGuard guard;
+  par::set_thread_count(4);
+  Rng rng(33);
+  std::vector<float> values(5000);
+  for (float& v : values) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto sum_with_hint = [&](std::size_t work_per_index) {
+    return par::parallel_reduce(
+        std::size_t{0}, values.size(), std::size_t{256}, work_per_index,
+        0.0f,
+        [&](std::size_t lo, std::size_t hi) {
+          float partial = 0.0f;
+          for (std::size_t i = lo; i < hi; ++i) partial += values[i];
+          return partial;
+        },
+        [](float acc, float partial) { return acc + partial; });
+  };
+  // 5000 * 1 ops is below the cutoff (inline), 5000 * big is above
+  // (pool); the chunking is identical, so the sums are bitwise equal.
+  const float inline_sum = sum_with_hint(1);
+  const float pooled_sum = sum_with_hint(par::serial_cutoff());
+  const float unhinted_sum = par::parallel_reduce(
+      std::size_t{0}, values.size(), std::size_t{256}, 0.0f,
+      [&](std::size_t lo, std::size_t hi) {
+        float partial = 0.0f;
+        for (std::size_t i = lo; i < hi; ++i) partial += values[i];
+        return partial;
+      },
+      [](float acc, float partial) { return acc + partial; });
+  EXPECT_EQ(std::memcmp(&inline_sum, &pooled_sum, sizeof(float)), 0);
+  EXPECT_EQ(std::memcmp(&inline_sum, &unhinted_sum, sizeof(float)), 0);
 }
 
 // --- Full-pipeline determinism -------------------------------------------

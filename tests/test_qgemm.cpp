@@ -18,6 +18,7 @@
 
 #include "nn/quantize.hpp"
 #include "nn/serialize.hpp"
+#include "tensor/simd.hpp"
 #include "tensor/tensor.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -28,6 +29,24 @@ namespace {
 struct ThreadCountGuard {
   ~ThreadCountGuard() { par::set_thread_count(0); }
 };
+
+/// Pins the SIMD dispatch level for a scope.
+struct SimdLevelGuard {
+  explicit SimdLevelGuard(simd::Level level) { simd::set_level(level); }
+  ~SimdLevelGuard() { simd::reset_level(); }
+};
+
+/// Every dispatch level this host can actually run.
+std::vector<simd::Level> available_levels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::detected_level() >= simd::Level::kSSE2) {
+    levels.push_back(simd::Level::kSSE2);
+  }
+  if (simd::detected_level() >= simd::Level::kAVX2) {
+    levels.push_back(simd::Level::kAVX2);
+  }
+  return levels;
+}
 
 bool bitwise_equal(const Tensor& a, const Tensor& b) {
   if (a.shape() != b.shape()) return false;
@@ -226,6 +245,46 @@ TEST(Qgemm, BitwiseDeterministicAcrossThreadCounts) {
   EXPECT_TRUE(bitwise_equal(serial, parallel));
 }
 
+TEST(Qgemm, BitwiseIdenticalAtEveryDispatchLevel) {
+  // The int8 contract (tensor/simd.hpp): int32 accumulation is exact and
+  // the fused dequant is one rounding per element at every level, so
+  // SSE2 and AVX2 must match the scalar kernel bit for bit — at any
+  // thread count.
+  ThreadCountGuard guard;
+  Rng rng(22);
+  for (const auto& [m, k, n] :
+       std::vector<std::array<std::size_t, 3>>{{3, 5, 7},
+                                               {144, 42, 16},
+                                               {17, 130, 33}}) {
+    const Tensor x = random_matrix(m, k, rng);
+    const Tensor w = random_matrix(k, n, rng);
+    std::vector<float> bias(n);
+    for (auto& v : bias) v = static_cast<float>(rng.normal());
+    const QuantizedMatrix q = quantize_weights(w);
+
+    Tensor reference;
+    {
+      SimdLevelGuard simd_guard(simd::Level::kScalar);
+      par::set_thread_count(1);
+      reference = qgemm(x, q, bias);
+    }
+    ASSERT_TRUE(bitwise_equal(reference, reference_qgemm(x, q, bias)))
+        << m << "x" << k << "x" << n;
+    for (const simd::Level level : available_levels()) {
+      SimdLevelGuard simd_guard(level);
+      par::set_thread_count(1);
+      const Tensor serial = qgemm(x, q, bias);
+      par::set_thread_count(4);
+      const Tensor parallel = qgemm(x, q, bias);
+      EXPECT_TRUE(bitwise_equal(serial, reference))
+          << simd::level_name(level) << " " << m << "x" << k << "x" << n;
+      EXPECT_TRUE(bitwise_equal(parallel, reference))
+          << simd::level_name(level) << " " << m << "x" << k << "x" << n
+          << " (4 threads)";
+    }
+  }
+}
+
 TEST(Qgemm, RejectsBadShapes) {
   Rng rng(10);
   const Tensor w = random_matrix(8, 4, rng);
@@ -259,26 +318,40 @@ Tensor naive_matmul(const Tensor& a, const Tensor& b) {
 
 TEST(GemmEdgeShapes, RowVectorColumnVectorAndK1) {
   Rng rng(12);
-  // (1 x k)(k x n), (m x k)(k x 1), k = 1, and 1x1x1.
+  // (1 x k)(k x n), (m x k)(k x 1), k = 1, and 1x1x1. The fp32 kernels
+  // run under every exact (non-FMA) dispatch level — scalar and SSE2
+  // share the naive reference's rounding bit for bit; the int8 path is
+  // exact at every level including AVX2.
   for (const auto& [m, k, n] :
        std::vector<std::array<std::size_t, 3>>{
            {1, 17, 9}, {9, 17, 1}, {6, 1, 6}, {1, 1, 1}}) {
     const Tensor a = random_matrix(m, k, rng);
     const Tensor b = random_matrix(k, n, rng);
-    EXPECT_TRUE(bitwise_equal(matmul(a, b), naive_matmul(a, b)))
-        << "matmul " << m << "x" << k << "x" << n;
+    for (const simd::Level level : available_levels()) {
+      SimdLevelGuard simd_guard(level);
+      if (level != simd::Level::kAVX2) {
+        EXPECT_TRUE(bitwise_equal(matmul(a, b), naive_matmul(a, b)))
+            << "matmul " << m << "x" << k << "x" << n << " "
+            << simd::level_name(level);
 
-    const Tensor at = transpose(a);
-    EXPECT_TRUE(bitwise_equal(matmul_transpose_a(at, b), naive_matmul(a, b)))
-        << "transpose_a " << m << "x" << k << "x" << n;
+        const Tensor at = transpose(a);
+        EXPECT_TRUE(
+            bitwise_equal(matmul_transpose_a(at, b), naive_matmul(a, b)))
+            << "transpose_a " << m << "x" << k << "x" << n << " "
+            << simd::level_name(level);
 
-    const Tensor bt = transpose(b);
-    EXPECT_TRUE(bitwise_equal(matmul_transpose_b(a, bt), naive_matmul(a, b)))
-        << "transpose_b " << m << "x" << k << "x" << n;
+        const Tensor bt = transpose(b);
+        EXPECT_TRUE(
+            bitwise_equal(matmul_transpose_b(a, bt), naive_matmul(a, b)))
+            << "transpose_b " << m << "x" << k << "x" << n << " "
+            << simd::level_name(level);
+      }
 
-    const QuantizedMatrix q = quantize_weights(b);
-    EXPECT_TRUE(bitwise_equal(qgemm(a, q), reference_qgemm(a, q, {})))
-        << "qgemm " << m << "x" << k << "x" << n;
+      const QuantizedMatrix q = quantize_weights(b);
+      EXPECT_TRUE(bitwise_equal(qgemm(a, q), reference_qgemm(a, q, {})))
+          << "qgemm " << m << "x" << k << "x" << n << " "
+          << simd::level_name(level);
+    }
   }
 }
 
