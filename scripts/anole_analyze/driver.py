@@ -140,10 +140,14 @@ def run_analysis(root: Path, enabled: set[str] | None = None,
     # env-var-registry.
     if on("env-var-registry"):
         documented = readme_env_vars(root)
+        src_env_vars: set[str] = set()
         for f in files:
             ctx = FileContext(f.rel, f.tokens, f.includes, False)
             ctx.getenv_sites = f.getenv_sites
             findings.extend(rules.rule_env_var_registry(ctx, documented))
+            if f.rel.startswith("src/"):
+                src_env_vars.update(var for _, var in f.getenv_sites)
+        findings.extend(rules.rule_required_env_vars(src_env_vars))
 
     # contract-coverage ratchet.
     coverage = None
@@ -171,11 +175,13 @@ def run_analysis(root: Path, enabled: set[str] | None = None,
 
         baseline_path = root / BASELINE_FILE
         if update_baseline:
+            # Floor (never round) so the stored ratio can't land above the
+            # measured one — a freshly-updated baseline must always pass.
             baseline_path.write_text(json.dumps({
                 "contract_coverage": {
                     "covered": covered,
                     "total": total,
-                    "min_ratio": round(ratio, 6),
+                    "min_ratio": int(ratio * 1e6) / 1e6,
                 },
             }, indent=2) + "\n", encoding="utf-8")
             notes.append(

@@ -107,6 +107,9 @@ AnoleEngine::AnoleEngine(AnoleSystem& system, const EngineConfig& config)
 
   governor_ =
       core::governor_enabled_from_env() ? config.governor : nullptr;
+  drift_ = core::drift_enabled_from_env() ? config.drift : nullptr;
+  effective_floor_ = config.confidence_floor;
+  effective_smoothing_ = config.suitability_smoothing;
 }
 
 AnoleEngine::AnoleEngine(AnoleSystem& system, const CacheConfig& cache_config)
@@ -193,6 +196,29 @@ std::optional<std::size_t> AnoleEngine::plan_with_suitability(
     return std::nullopt;
   }
 
+  // Drift response (DESIGN.md §14), applied forward: a detection observed
+  // on an earlier frame lands here, before this frame's ranking, so the
+  // response never re-runs a ranking (and its fault draws) mid-frame.
+  // Recalibrate the floor, decay the smoothing alpha, and drop every
+  // piece of stale scene evidence — the smoothed suitability state and
+  // the cached ranking — so the next sort re-ranks all models fresh even
+  // while the governor is throttling ranking refreshes.
+  if (drift_ != nullptr && drift_->response_pending()) {
+    const DriftResponse response = drift_->take_response();
+    result.health.drift_detected = true;
+    ++drift_responses_;
+    if (response.recalibrated_floor >= 0.0 &&
+        config_.confidence_floor > 0.0) {
+      effective_floor_ = response.recalibrated_floor;
+      result.health.drift_recalibrated = true;
+      ++drift_recalibrations_;
+    }
+    effective_smoothing_ =
+        config_.suitability_smoothing * response.smoothing_scale;
+    smoothed_suitability_.clear();
+    last_ranking_.clear();
+  }
+
   const bool reuse_ranking =
       !directive.refresh_ranking && last_ranking_.size() == n;
   std::vector<std::size_t> ranking;
@@ -243,6 +269,15 @@ std::optional<std::size_t> AnoleEngine::plan_with_suitability(
     detect_model = admission.served_model;
   }
 
+  // Drift observation: one sample per decision-model run. Reused rankings
+  // and shed frames carry no new decision evidence, so they are not fed —
+  // the detector's observation stream (and trace hash) is a pure function
+  // of the fresh-ranking sequence, identical across thread counts.
+  if (drift_ != nullptr && !reuse_ranking) {
+    drift_->observe_confidence(result.top1_confidence, result.low_confidence,
+                               admission.served_model);
+  }
+
   result.model_switched =
       last_served_.has_value() && *last_served_ != admission.served_model;
   if (result.model_switched) ++switches_;
@@ -277,7 +312,7 @@ std::vector<std::size_t> AnoleEngine::rank_suitability(
   if (smoothed_suitability_.size() != n) {
     smoothed_suitability_ = suitability;
   } else {
-    const double alpha = config_.suitability_smoothing;
+    const double alpha = effective_smoothing_;
     for (std::size_t m = 0; m < n; ++m) {
       smoothed_suitability_[m] =
           alpha * smoothed_suitability_[m] + (1.0 - alpha) * suitability[m];
@@ -297,8 +332,8 @@ std::vector<std::size_t> AnoleEngine::rank_suitability(
 
   // Case-3 fallback: no model looks suitable — or the whole vector was
   // corrupt (top-1 below zero) — use the broadest one.
-  if ((config_.confidence_floor > 0.0 &&
-       result.top1_confidence < config_.confidence_floor) ||
+  if ((effective_floor_ > 0.0 &&
+       result.top1_confidence < effective_floor_) ||
       result.top1_confidence < 0.0) {
     result.low_confidence = true;
     ++low_confidence_;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/decision_model.hpp"
+#include "core/drift.hpp"
 #include "core/governor.hpp"
 #include "core/model_cache.hpp"
 #include "core/repository.hpp"
@@ -62,6 +63,13 @@ struct EngineConfig {
   /// ANOLE_GOVERNOR=0, reproducing ungoverned behavior exactly. Not
   /// owned; must outlive the engine.
   core::RuntimeGovernor* governor = nullptr;
+  /// Drift detector fed one confidence observation per decision-model run
+  /// (DESIGN.md §14); its responses recalibrate the confidence floor,
+  /// decay the smoothing alpha, and force a re-rank. Null (the default)
+  /// means no drift response; the pointer is also ignored when
+  /// ANOLE_DRIFT=0, reproducing the unadapted timeline exactly. Not
+  /// owned; must outlive the engine.
+  core::DriftDetector* drift = nullptr;
 };
 
 /// Everything that happened while processing one frame.
@@ -92,6 +100,11 @@ struct EngineResult {
     /// suppressed the swap (or the byte budget refused an oversized
     /// load) and the best resident model served instead.
     bool swap_suppressed = false;
+    /// True when a pending drift response was applied while planning this
+    /// frame (smoothed state reset, ranking refresh forced).
+    bool drift_detected = false;
+    /// True when that response also recalibrated the confidence floor.
+    bool drift_recalibrated = false;
   };
 
   std::vector<detect::Detection> detections;
@@ -183,6 +196,22 @@ class AnoleEngine {
   /// The governor in effect; null when ungoverned (none configured or
   /// ANOLE_GOVERNOR=0).
   core::RuntimeGovernor* governor() const { return governor_; }
+
+  /// --- drift introspection (DESIGN.md §14) ---
+
+  /// Frames whose planning applied a drift response.
+  std::size_t drift_responses() const { return drift_responses_; }
+  /// Drift responses that recalibrated the confidence floor.
+  std::size_t drift_recalibrations() const { return drift_recalibrations_; }
+  /// The confidence floor currently in effect (config value until a drift
+  /// response recalibrates it).
+  double effective_confidence_floor() const { return effective_floor_; }
+  /// The smoothing alpha currently in effect (config value scaled down by
+  /// drift responses).
+  double effective_smoothing() const { return effective_smoothing_; }
+  /// The drift detector in effect; null when detached (none configured or
+  /// ANOLE_DRIFT=0).
+  core::DriftDetector* drift() const { return drift_; }
   /// True when the M_decision head currently carries int8 layers.
   bool decision_quantized() const;
   /// True when detector `model` currently carries int8 layers.
@@ -234,6 +263,14 @@ class AnoleEngine {
   std::size_t dropped_frames_ = 0;
   std::size_t swap_suppressed_frames_ = 0;
   std::size_t reused_ranking_frames_ = 0;
+  /// --- drift-response state (DESIGN.md §14) ---
+  core::DriftDetector* drift_ = nullptr;
+  std::size_t drift_responses_ = 0;
+  std::size_t drift_recalibrations_ = 0;
+  /// Floor/alpha currently in effect; start at the config values and move
+  /// only when a drift response lands.
+  double effective_floor_ = 0.0;
+  double effective_smoothing_ = 0.0;
   /// Previous frame's ranking (post confidence-fallback rotation) and
   /// top-1 fields, replayed on throttled ranking reuse.
   std::vector<std::size_t> last_ranking_;

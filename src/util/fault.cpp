@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "util/check.hpp"
+#include "util/spec.hpp"
 
 namespace anole::fault {
 namespace {
@@ -16,21 +17,6 @@ std::size_t site_index(Site site) {
   const auto index = static_cast<std::size_t>(site);
   ANOLE_CHECK_RANGE(index, kSiteCount, "unknown fault::Site");
   return index;
-}
-
-/// Parses a non-negative double; `what` names the token in diagnostics.
-double parse_double(std::string_view text, std::string_view what) {
-  ANOLE_CHECK(!text.empty(), "ANOLE_FAULTS: empty value for ", what);
-  std::size_t consumed = 0;
-  double value = 0.0;
-  try {
-    value = std::stod(std::string(text), &consumed);
-  } catch (const std::exception&) {
-    consumed = 0;
-  }
-  ANOLE_CHECK(consumed == text.size(), "ANOLE_FAULTS: bad number '", text,
-              "' for ", what);
-  return value;
 }
 
 /// Process-wide trace-context tag (see fault.hpp). Relaxed atomics: the
@@ -63,56 +49,21 @@ FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {
 
 FaultInjector::FaultInjector(const std::string& spec)
     : FaultInjector(kDefaultSeed) {
-  std::string_view rest = spec;
   bool reseed = false;
-  while (!rest.empty()) {
-    const std::size_t comma = rest.find(',');
-    std::string_view token = rest.substr(0, comma);
-    rest = comma == std::string_view::npos ? std::string_view{}
-                                           : rest.substr(comma + 1);
-    // Trim surrounding whitespace.
-    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
-    while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
-    if (token.empty()) continue;
-
-    const std::size_t eq = token.find('=');
-    ANOLE_CHECK(eq != std::string_view::npos && eq > 0,
-                "ANOLE_FAULTS: token '", token, "' is not key=value");
-    const std::string_view key = token.substr(0, eq);
-    const std::string_view value = token.substr(eq + 1);
-
-    if (key == "seed") {
-      std::size_t consumed = 0;
-      std::uint64_t parsed = 0;
-      try {
-        parsed = std::stoull(std::string(value), &consumed);
-      } catch (const std::exception&) {
-        consumed = 0;
-      }
-      ANOLE_CHECK(consumed == value.size() && !value.empty(),
-                  "ANOLE_FAULTS: bad seed '", value, "'");
-      seed_ = parsed;
+  for (const spec::Token& token : spec::tokenize(spec, "ANOLE_FAULTS")) {
+    if (token.key == "seed") {
+      seed_ = spec::parse_u64(token.value, "ANOLE_FAULTS", "seed");
       reseed = true;
       continue;
     }
-    const auto site = site_from_name(key);
-    ANOLE_CHECK(site.has_value(), "ANOLE_FAULTS: unknown site '", key,
+    const auto site = site_from_name(token.key);
+    ANOLE_CHECK(site.has_value(), "ANOLE_FAULTS: unknown site '", token.key,
                 "' (sites: model_load, artifact_section, decision_output, "
                 "frame_payload, load_latency_spike, memory_pressure)");
-    const std::size_t x = value.find('x');
-    double mag = 1.0;
-    std::string_view prob_text = value;
-    if (x != std::string_view::npos) {
-      prob_text = value.substr(0, x);
-      mag = parse_double(value.substr(x + 1), "magnitude");
-      ANOLE_CHECK_GT(mag, 0.0, "ANOLE_FAULTS: magnitude must be > 0");
-    }
-    const double prob = parse_double(prob_text, key);
-    ANOLE_CHECK(prob >= 0.0 && prob <= 1.0,
-                "ANOLE_FAULTS: probability for ", key,
-                " must be in [0, 1], got ", prob);
-    sites_[site_index(*site)].probability = prob;
-    sites_[site_index(*site)].magnitude = mag;
+    const spec::Rate rate =
+        spec::parse_rate(token.value, "ANOLE_FAULTS", token.key);
+    sites_[site_index(*site)].probability = rate.value;
+    sites_[site_index(*site)].magnitude = rate.magnitude;
   }
   if (reseed) seed_streams();
 }

@@ -1,0 +1,13 @@
+// env-var-registry: ANOLE_SCENARIO is a *required* knob — this getenv
+// site satisfies the required-registration check (and the fixture README
+// documents it). ANOLE_DRIFT is deliberately absent from the fixture
+// tree, so the required-var finding fires at README.md:1.
+#include <cstdlib>
+
+namespace anole::core {
+
+bool scenario_armed() {
+  return std::getenv("ANOLE_SCENARIO") != nullptr;  // ok: documented row
+}
+
+}  // namespace anole::core

@@ -1,0 +1,356 @@
+// DriftDetector (core/drift.hpp): CUSUM change detection over the
+// decision-confidence stream, the serving response it produces, and the
+// engine/session wiring — including the ANOLE_DRIFT=0 detach path that
+// must reproduce the unadapted timeline exactly.
+#include "core/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/profiler.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "world/scenario.hpp"
+
+namespace anole::core {
+namespace {
+
+DriftConfig tight_config() {
+  DriftConfig config;
+  config.window = 16;
+  config.baseline_window = 16;
+  config.cusum_slack = 0.05;
+  config.cusum_threshold = 0.5;
+  config.min_separation = 8;
+  return config;
+}
+
+TEST(DriftDetector, EnabledFromEnvHonorsVariable) {
+  const char* saved = std::getenv("ANOLE_DRIFT");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+
+  ::unsetenv("ANOLE_DRIFT");
+  EXPECT_TRUE(drift_enabled_from_env());
+  ::setenv("ANOLE_DRIFT", "1", 1);
+  EXPECT_TRUE(drift_enabled_from_env());
+  ::setenv("ANOLE_DRIFT", "0", 1);
+  EXPECT_FALSE(drift_enabled_from_env());
+
+  if (saved == nullptr) {
+    ::unsetenv("ANOLE_DRIFT");
+  } else {
+    ::setenv("ANOLE_DRIFT", saved_value.c_str(), 1);
+  }
+}
+
+TEST(DriftDetector, StationaryStreamNeverFires) {
+  DriftDetector detector(tight_config());
+  for (int i = 0; i < 500; ++i) {
+    detector.observe_confidence(0.8, false, 0);
+  }
+  EXPECT_EQ(detector.detections(), 0u);
+  EXPECT_FALSE(detector.response_pending());
+  EXPECT_NEAR(detector.baseline_mean(), 0.8, 1e-9);
+}
+
+TEST(DriftDetector, DetectsConfidenceCollapse) {
+  DriftDetector detector(tight_config());
+  for (int i = 0; i < 16; ++i) detector.observe_confidence(0.8, false, 0);
+  ASSERT_EQ(detector.detections(), 0u);
+  int fired_after = -1;
+  for (int i = 0; i < 50; ++i) {
+    detector.observe_confidence(0.3, true, 1);
+    if (detector.detections() > 0) {
+      fired_after = i;
+      break;
+    }
+  }
+  // 0.8 - 0.3 - 0.05 slack = 0.45 per observation: two collapse frames
+  // cross the 0.5 threshold.
+  ASSERT_GE(fired_after, 0);
+  EXPECT_LE(fired_after, 3);
+  ASSERT_TRUE(detector.response_pending());
+  const DriftResponse response = detector.take_response();
+  EXPECT_FALSE(detector.response_pending());
+  // Floor recalibrates into the new regime: below the collapsed
+  // confidence, not the clean one.
+  EXPECT_GT(response.recalibrated_floor, 0.0);
+  EXPECT_LT(response.recalibrated_floor, 0.3);
+  EXPECT_DOUBLE_EQ(response.smoothing_scale, 0.5);
+}
+
+TEST(DriftDetector, RebaselinesAndDecaysPerDetection) {
+  DriftDetector detector(tight_config());
+  for (int i = 0; i < 16; ++i) detector.observe_confidence(0.8, false, 0);
+  for (int i = 0; i < 60; ++i) detector.observe_confidence(0.4, true, 0);
+  ASSERT_EQ(detector.detections(), 1u);
+  (void)detector.take_response();
+  // The detector re-baselined on the 0.4 regime: staying there is quiet…
+  for (int i = 0; i < 100; ++i) detector.observe_confidence(0.4, true, 0);
+  EXPECT_EQ(detector.detections(), 1u);
+  // …and a second collapse fires a second, further-decayed response.
+  for (int i = 0; i < 60; ++i) detector.observe_confidence(0.05, true, 0);
+  ASSERT_EQ(detector.detections(), 2u);
+  EXPECT_DOUBLE_EQ(detector.take_response().smoothing_scale, 0.25);
+}
+
+TEST(DriftDetector, FlagsStaleModels) {
+  DriftDetector detector(tight_config());
+  // Baseline and the older window half served by model 0; the collapse
+  // regime is served by model 1 — model 0 is the stale one.
+  for (int i = 0; i < 16; ++i) detector.observe_confidence(0.8, false, 0);
+  for (int i = 0; i < 60 && detector.detections() == 0; ++i) {
+    detector.observe_confidence(0.3, true, 1);
+  }
+  // The two-frame collapse window keeps plenty of model-0 history in the
+  // older half; force more model-1 evidence before inspecting.
+  DriftDetector slow(DriftConfig{.window = 16,
+                                 .baseline_window = 16,
+                                 .cusum_slack = 0.05,
+                                 .cusum_threshold = 4.0,
+                                 .min_separation = 8});
+  for (int i = 0; i < 16; ++i) slow.observe_confidence(0.8, false, 0);
+  for (int i = 0; i < 100 && slow.detections() == 0; ++i) {
+    slow.observe_confidence(0.3, true, 1);
+  }
+  ASSERT_EQ(slow.detections(), 1u);
+  const DriftResponse response = slow.take_response();
+  // By detection time the window's newer half is all model 1; model 0
+  // only survives in the older half (if at all). Either the stale list
+  // names model 0 or the window has fully turned over — never model 1.
+  for (const std::size_t model : response.stale_models) {
+    EXPECT_EQ(model, 0u);
+  }
+}
+
+TEST(DriftDetector, LatencyShiftIsInformationalOnly) {
+  DriftDetector detector(tight_config());
+  for (int i = 0; i < 16; ++i) detector.observe_latency(10.0, false);
+  for (int i = 0; i < 50; ++i) detector.observe_latency(40.0, true);
+  EXPECT_GE(detector.latency_detections(), 1u);
+  EXPECT_EQ(detector.detections(), 0u);
+  EXPECT_FALSE(detector.response_pending());
+}
+
+TEST(DriftDetector, TraceHashIsReplayableAndSensitive) {
+  const auto feed = [](DriftDetector& detector, double late) {
+    for (int i = 0; i < 16; ++i) detector.observe_confidence(0.8, false, 0);
+    for (int i = 0; i < 80; ++i) detector.observe_confidence(late, true, 1);
+  };
+  DriftDetector a(tight_config());
+  DriftDetector b(tight_config());
+  DriftDetector c(tight_config());
+  feed(a, 0.3);
+  feed(b, 0.3);
+  feed(c, 0.2);
+  EXPECT_GE(a.detections(), 1u);
+  EXPECT_EQ(a.trace_hash(), b.trace_hash());
+  EXPECT_NE(a.trace_hash(), c.trace_hash());
+  a.reset();
+  EXPECT_EQ(a.detections(), 0u);
+  EXPECT_EQ(a.trace().size(), 0u);
+  EXPECT_FALSE(a.response_pending());
+}
+
+TEST(DriftDetector, ContractChecks) {
+  DriftDetector detector;
+  EXPECT_THROW(detector.take_response(), ContractViolation);
+  DriftConfig bad;
+  bad.window = 1;
+  EXPECT_THROW(DriftDetector{bad}, ContractViolation);
+  bad = DriftConfig{};
+  bad.cusum_threshold = 0.0;
+  EXPECT_THROW(DriftDetector{bad}, ContractViolation);
+  bad = DriftConfig{};
+  bad.smoothing_decay = 0.0;
+  EXPECT_THROW(DriftDetector{bad}, ContractViolation);
+}
+
+/// Engine-level drift tests share one trained system (same scale as the
+/// engine fault tests: a small world, 6 compressed models).
+class EngineDriftTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    set_log_level(LogLevel::kError);
+    world::WorldConfig world_config;
+    world_config.frames_per_clip = 50;
+    world_config.clip_scale = 0.12;
+    world_config.seed = 77;
+    world_ = std::make_unique<world::World>(
+        world::make_benchmark_world(world_config));
+    ProfilerConfig config;
+    config.encoder.train.epochs = 15;
+    config.repository.target_models = 6;
+    config.repository.detector_train.epochs = 6;
+    config.repository.min_training_frames = 20;
+    config.repository.min_validation_frames = 4;
+    config.sampling.budget = 150;
+    config.decision.train.epochs = 15;
+    Rng rng(3);
+    OfflineProfiler profiler(config);
+    system_ = std::make_unique<AnoleSystem>(profiler.run(*world_, rng));
+
+    // A drift-pack stream: the scene mix shifts toward hostile scenes
+    // the decision model barely saw.
+    world::ScenarioConfig scenario;
+    scenario.seed = 40;
+    scenario.arm(world::ScenarioPack::kDrift, 1.0);
+    stream_ = std::make_unique<world::ScenarioStream>(
+        world::compose_scenario(*world_, scenario, 600));
+  }
+
+  static void TearDownTestSuite() {
+    stream_.reset();
+    system_.reset();
+    world_.reset();
+  }
+
+  /// A frozen-baseline engine config: heavy smoothing plus a fixed
+  /// confidence floor calibrated for the clean mix (what drifts badly).
+  static EngineConfig frozen_config() {
+    EngineConfig config;
+    config.cache.capacity = 3;
+    config.suitability_smoothing = 0.9;
+    config.confidence_floor = 0.35;
+    return config;
+  }
+
+  static std::vector<const world::Frame*> stream_frames() {
+    std::vector<const world::Frame*> frames;
+    frames.reserve(stream_->clip.size());
+    for (const world::Frame& frame : stream_->clip.frames) {
+      frames.push_back(&frame);
+    }
+    return frames;
+  }
+
+  static std::unique_ptr<world::World> world_;
+  static std::unique_ptr<AnoleSystem> system_;
+  static std::unique_ptr<world::ScenarioStream> stream_;
+};
+
+std::unique_ptr<world::World> EngineDriftTest::world_;
+std::unique_ptr<AnoleSystem> EngineDriftTest::system_;
+std::unique_ptr<world::ScenarioStream> EngineDriftTest::stream_;
+
+/// Drives the detector into a pending response (a confidence collapse of
+/// the kind the bench reproduces organically at full scale — at this
+/// fixture's size the 6-model decision head saturates near 1.0, so the
+/// collapse is injected) and verifies the engine consumes and applies it
+/// on the next planned frame.
+TEST_F(EngineDriftTest, ResponderAppliesPendingResponse) {
+  DriftDetector detector(tight_config());
+  for (int i = 0; i < 16; ++i) detector.observe_confidence(0.8, false, 0);
+  for (int i = 0; i < 8; ++i) detector.observe_confidence(0.1, true, 1);
+  ASSERT_EQ(detector.detections(), 1u);
+  ASSERT_TRUE(detector.response_pending());
+  const std::size_t prior_obs = detector.confidence_observations();
+
+  EngineConfig config = frozen_config();
+  config.drift = &detector;
+  AnoleEngine engine(*system_, config);
+  ASSERT_EQ(engine.drift(), &detector);
+  const EngineResult first = engine.process(stream_->clip.frames[0]);
+  EXPECT_TRUE(first.health.drift_detected);
+  EXPECT_TRUE(first.health.drift_recalibrated);
+  EXPECT_EQ(engine.drift_responses(), 1u);
+  EXPECT_EQ(engine.drift_recalibrations(), 1u);
+  EXPECT_FALSE(detector.response_pending());
+  // The floor recalibrated into the collapsed regime and the smoothing
+  // alpha decayed by the configured factor.
+  EXPECT_GT(engine.effective_confidence_floor(), 0.0);
+  EXPECT_LT(engine.effective_confidence_floor(), 0.35);
+  EXPECT_DOUBLE_EQ(engine.effective_smoothing(), 0.9 * 0.5);
+
+  // The engine keeps feeding the detector: one observation per fresh
+  // ranking, and response accounting stays consistent frame over frame.
+  std::size_t response_frames = 1;
+  for (std::size_t i = 1; i < 50; ++i) {
+    const EngineResult result = engine.process(stream_->clip.frames[i]);
+    if (result.health.drift_detected) ++response_frames;
+  }
+  EXPECT_EQ(engine.drift_responses(), response_frames);
+  EXPECT_EQ(detector.confidence_observations(), prior_obs + 50);
+}
+
+TEST_F(EngineDriftTest, BatchMatchesSerialWithDriftAttached) {
+  const auto prime = [](DriftDetector& detector) {
+    for (int i = 0; i < 16; ++i) detector.observe_confidence(0.8, false, 0);
+    for (int i = 0; i < 8; ++i) detector.observe_confidence(0.1, true, 1);
+  };
+  DriftDetector serial_detector(tight_config());
+  DriftDetector batch_detector(tight_config());
+  prime(serial_detector);
+  prime(batch_detector);
+  ASSERT_TRUE(serial_detector.response_pending());
+  EngineConfig serial_config = frozen_config();
+  serial_config.drift = &serial_detector;
+  EngineConfig batch_config = frozen_config();
+  batch_config.drift = &batch_detector;
+  AnoleEngine serial(*system_, serial_config);
+  AnoleEngine batch(*system_, batch_config);
+
+  std::vector<EngineResult> serial_results;
+  for (const world::Frame& frame : stream_->clip.frames) {
+    serial_results.push_back(serial.process(frame));
+  }
+  const std::vector<EngineResult> batch_results =
+      batch.process_batch(stream_frames());
+
+  ASSERT_EQ(serial_results.size(), batch_results.size());
+  for (std::size_t i = 0; i < serial_results.size(); ++i) {
+    EXPECT_EQ(serial_results[i].served_model, batch_results[i].served_model)
+        << i;
+    EXPECT_EQ(serial_results[i].health.drift_detected,
+              batch_results[i].health.drift_detected)
+        << i;
+  }
+  EXPECT_EQ(serial_detector.trace_hash(), batch_detector.trace_hash());
+  EXPECT_GE(serial_detector.detections(), 1u);
+  EXPECT_GE(serial.drift_responses(), 1u);
+  EXPECT_EQ(serial.drift_responses(), batch.drift_responses());
+}
+
+TEST_F(EngineDriftTest, AnoleDrift0DetachesExactly) {
+  const char* saved = std::getenv("ANOLE_DRIFT");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+
+  // Baseline: no detector configured at all.
+  EngineConfig plain_config = frozen_config();
+  AnoleEngine plain(*system_, plain_config);
+  std::vector<std::size_t> plain_served;
+  for (const world::Frame& frame : stream_->clip.frames) {
+    plain_served.push_back(plain.process(frame).served_model);
+  }
+
+  // Detector wired but detached by ANOLE_DRIFT=0: the unadapted timeline
+  // must reproduce exactly, and the detector must never be consulted.
+  ::setenv("ANOLE_DRIFT", "0", 1);
+  DriftDetector detector;
+  EngineConfig detached_config = frozen_config();
+  detached_config.drift = &detector;
+  AnoleEngine detached(*system_, detached_config);
+  EXPECT_EQ(detached.drift(), nullptr);
+  for (std::size_t i = 0; i < stream_->clip.size(); ++i) {
+    const EngineResult result = detached.process(stream_->clip.frames[i]);
+    ASSERT_EQ(result.served_model, plain_served[i]) << i;
+    EXPECT_FALSE(result.health.drift_detected);
+  }
+  EXPECT_EQ(detector.confidence_observations(), 0u);
+  EXPECT_EQ(detached.drift_responses(), 0u);
+  EXPECT_DOUBLE_EQ(detached.effective_confidence_floor(), 0.35);
+
+  if (saved == nullptr) {
+    ::unsetenv("ANOLE_DRIFT");
+  } else {
+    ::setenv("ANOLE_DRIFT", saved_value.c_str(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace anole::core

@@ -60,6 +60,41 @@ TEST(FaultInjector, SpecRejectsMalformedTokens) {
   EXPECT_THROW(FaultInjector("=0.5"), ContractViolation);
 }
 
+TEST(FaultInjector, SpecRejectsNonFiniteAndSignedValues) {
+  // The hardened parser refuses everything std::stod used to let through:
+  // non-finite rates/magnitudes and signed "unsigned" seeds.
+  EXPECT_THROW(FaultInjector("model_load=nan"), ContractViolation);
+  EXPECT_THROW(FaultInjector("model_load=inf"), ContractViolation);
+  EXPECT_THROW(FaultInjector("model_load=-0.25"), ContractViolation);
+  EXPECT_THROW(FaultInjector("model_load=0.5xnan"), ContractViolation);
+  EXPECT_THROW(FaultInjector("model_load=0.5xinf"), ContractViolation);
+  EXPECT_THROW(FaultInjector("model_load=0.5x-2"), ContractViolation);
+  EXPECT_THROW(FaultInjector("seed=-1"), ContractViolation);
+  EXPECT_THROW(FaultInjector("seed=+3"), ContractViolation);
+  EXPECT_THROW(FaultInjector("seed=0x10"), ContractViolation);
+  EXPECT_THROW(FaultInjector("model_load=0.25trailing"), ContractViolation);
+}
+
+TEST(FaultInjector, SpecErrorNamesOffendingToken) {
+  // Fail-fast diagnostics must name the environment variable and the
+  // offending token, not just report "bad spec".
+  try {
+    FaultInjector injector("model_load=0.25,gamma_ray=0.5");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("gamma_ray"), std::string::npos) << message;
+    EXPECT_NE(message.find("ANOLE_FAULTS"), std::string::npos) << message;
+  }
+  try {
+    FaultInjector injector("model_load=0.5x-3");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("model_load"), std::string::npos) << message;
+  }
+}
+
 TEST(FaultInjector, FromEnvHonorsVariable) {
   const char* saved = std::getenv("ANOLE_FAULTS");
   const std::string saved_value = saved == nullptr ? "" : saved;

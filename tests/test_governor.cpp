@@ -503,5 +503,93 @@ TEST_F(GovernorEngineTest, GovernorSoakBoundedDropsUnderFaults) {
   EXPECT_LE(outcome.dropped, frame_count / 20);
 }
 
+TEST_F(GovernorEngineTest, MemoryPressureUnderGovernorStaysReplayable) {
+  // Governor x fault interaction: memory_pressure armed while the
+  // governor escalates into throttled/shedding. Both trace hashes must
+  // replay bitwise across reruns, and a shed frame must never be
+  // double-charged — it reaches neither the cache (no load attempts) nor
+  // the detector nor the device session.
+  ScopedEnv env("ANOLE_GOVERNOR", nullptr);
+  const auto frames = spliced_stream(200);  // 1000 fast-changing frames
+
+  struct Replay {
+    std::vector<std::size_t> served;
+    std::size_t dropped = 0;
+    std::size_t executed = 0;
+    bool saw_throttled = false;
+    bool saw_shedding = false;
+    std::uint64_t governor_hash = 0;
+    std::uint64_t fault_hash = 0;
+  };
+  const auto run_once = [&]() {
+    EngineConfig config = small_cache_config();
+    config.faults = std::make_shared<fault::FaultInjector>(
+        std::string("seed=2033,memory_pressure=0.02x2"));
+    std::uint64_t max_bytes = 0;
+    for (std::size_t m = 0; m < system_->repository.size(); ++m) {
+      max_bytes = std::max(
+          max_bytes, system_->repository.detector(m).weight_bytes());
+    }
+    config.cache.memory_budget_bytes = 2 * max_bytes;
+    RuntimeGovernor governor{GovernorConfig{}};
+    config.governor = &governor;
+    AnoleEngine engine(*system_, config);
+    const auto profile = DeviceProfile::jetson_tx2_nx(
+        system_->repository.detector(0).flops_per_frame());
+    const MemoryModel memory(system_->repository.detector(0).weight_bytes());
+    const std::uint64_t decision_flops =
+        system_->decision->flops_per_sample();
+    DeviceSession session(profile, 1.0, config.faults.get(), &governor);
+
+    Replay replay;
+    for (const world::Frame* frame : frames) {
+      const EngineResult result = engine.process(*frame);
+      replay.served.push_back(result.served_model);
+      replay.saw_throttled |= governor.state() == GovernorState::kThrottled;
+      replay.saw_shedding |= governor.state() == GovernorState::kShedding;
+      if (result.health.frame_dropped) {
+        // A shed frame was decided before any chargeable work: no cache
+        // load attempts, no detector output, no device execution.
+        EXPECT_EQ(result.health.load_attempts, 0u);
+        EXPECT_FALSE(result.model_loaded);
+        EXPECT_TRUE(result.detections.empty());
+        ++replay.dropped;
+        continue;
+      }
+      FrameCost cost;
+      cost.decision_flops = result.ranking_reused ? 0 : decision_flops;
+      cost.detector_flops =
+          system_->repository.detector(result.served_model)
+              .flops_per_frame();
+      const double weight_mb = memory.load_mb(
+          system_->repository.detector(result.served_model).weight_bytes());
+      cost.loaded_weight_mb = result.model_loaded ? weight_mb : 0.0;
+      const std::size_t failed_attempts =
+          result.health.load_attempts - (result.model_loaded ? 1 : 0);
+      cost.retried_weight_mb =
+          static_cast<double>(failed_attempts) * weight_mb;
+      cost.deadline_ms = kDeadlineMs;
+      (void)session.process(cost);
+    }
+    replay.executed = session.frames();
+    replay.governor_hash = governor.trace_hash();
+    replay.fault_hash = config.faults->trace_hash();
+    EXPECT_EQ(engine.dropped_frames(), replay.dropped);
+    EXPECT_EQ(replay.executed + replay.dropped, frames.size());
+    return replay;
+  };
+
+  const Replay first = run_once();
+  const Replay second = run_once();
+  // The fixture must actually exercise the interaction, not idle in
+  // kNormal with the fault stream silent.
+  EXPECT_TRUE(first.saw_throttled);
+  EXPECT_NE(first.fault_hash, fault::FaultInjector("seed=2033").trace_hash());
+  EXPECT_EQ(first.served, second.served);
+  EXPECT_EQ(first.dropped, second.dropped);
+  EXPECT_EQ(first.governor_hash, second.governor_hash);
+  EXPECT_EQ(first.fault_hash, second.fault_hash);
+}
+
 }  // namespace
 }  // namespace anole::core
